@@ -1,0 +1,422 @@
+package desksearch
+
+// The benchmark harness regenerating the paper's evaluation:
+//
+//   - BenchmarkTable1StageTimes     — Table 1 (sequential stage times, simulated)
+//   - BenchmarkTable2QuadCore       — Table 2 (4-core best configurations)
+//   - BenchmarkTable3Xeon8          — Table 3 (8-core best configurations)
+//   - BenchmarkTable4Manycore32     — Table 4 (32-core best configurations)
+//   - BenchmarkLiveImplementations  — Tables 2–4 analogue with real goroutines on this host
+//
+// and the ablations for the design decisions the paper discusses:
+//
+//   - BenchmarkAblationDistribution     — round-robin vs size-aware vs chunked vs stealing (§3)
+//   - BenchmarkAblationEnBloc           — en-bloc block insert vs immediate per-term insert (§3)
+//   - BenchmarkAblationJoin             — single-threaded vs parallel reduction join (§2.3)
+//   - BenchmarkAblationConcurrentStage1 — up-front vs overlapped filename generation (§3)
+//   - BenchmarkAblationParallelSearch   — multi-index parallel query (§5, future work)
+//
+// Simulated benches report model output as custom metrics (exec-s,
+// speedup); live benches measure this machine.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/distribute"
+	"desksearch/internal/experiments"
+	"desksearch/internal/extract"
+	"desksearch/internal/index"
+	"desksearch/internal/platform"
+	"desksearch/internal/postings"
+	"desksearch/internal/search"
+	"desksearch/internal/simmodel"
+	"desksearch/internal/tokenize"
+	"desksearch/internal/vfs"
+	"desksearch/internal/walk"
+)
+
+// ---- shared fixtures ----
+
+var (
+	paperOnce  sync.Once
+	paperStats corpus.Stats
+
+	liveOnce sync.Once
+	liveFS   *vfs.MemFS
+)
+
+func paperShape() corpus.Stats {
+	paperOnce.Do(func() { paperStats = corpus.Describe(corpus.PaperSpec()) })
+	return paperStats
+}
+
+// liveCorpus returns a 1/128-scale corpus (≈400 files, ≈7 MB) in memory for
+// live goroutine benchmarks.
+func liveCorpus(b *testing.B) *vfs.MemFS {
+	b.Helper()
+	liveOnce.Do(func() {
+		fs := vfs.NewMemFS()
+		if _, err := corpus.Generate(corpus.PaperSpec().Scale(1.0/128), fs); err != nil {
+			panic(err)
+		}
+		liveFS = fs
+	})
+	return liveFS
+}
+
+// ---- Table 1 ----
+
+func BenchmarkTable1StageTimes(b *testing.B) {
+	cs := paperShape()
+	for _, p := range platform.All() {
+		b.Run(p.Name, func(b *testing.B) {
+			var f, r, re, ins float64
+			for i := 0; i < b.N; i++ {
+				f, r, re, ins = simmodel.StageTimes(p, cs)
+			}
+			b.ReportMetric(f, "filename-s")
+			b.ReportMetric(r, "read-s")
+			b.ReportMetric(re, "read+extract-s")
+			b.ReportMetric(ins, "insert-s")
+		})
+	}
+}
+
+// ---- Tables 2–4 ----
+
+// benchTable simulates the paper's best configuration per implementation
+// on the given platform and reports exec time and speed-up as metrics.
+func benchTable(b *testing.B, p platform.Profile) {
+	cs := paperShape()
+	no, err := experiments.TableNumber(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := simmodel.SequentialBaseline(p, cs, simmodel.Options{Batch: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Sequential", func(b *testing.B) {
+		b.ReportMetric(seq, "exec-s")
+	})
+	for _, im := range []core.Implementation{core.SharedIndex, core.ReplicatedJoin, core.ReplicatedSearch} {
+		ref := experiments.PaperBest[no][im]
+		cfg := configFromTuple(im, ref.Tuple)
+		b.Run(fmt.Sprintf("%s@%s", im, ref.Tuple), func(b *testing.B) {
+			var res simmodel.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = simmodel.Simulate(p, cs, cfg, simmodel.Options{Batch: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Exec, "exec-s")
+			b.ReportMetric(seq/res.Exec, "speedup")
+			b.ReportMetric(ref.Exec, "paper-exec-s")
+			b.ReportMetric(ref.Speedup, "paper-speedup")
+		})
+	}
+}
+
+// configFromTuple parses the paper's "(x, y, z)" notation.
+func configFromTuple(im core.Implementation, tuple string) core.Config {
+	var x, y, z int
+	fmt.Sscanf(tuple, "(%d, %d, %d)", &x, &y, &z)
+	return core.Config{Implementation: im, Extractors: x, Updaters: y, Joiners: z}
+}
+
+func BenchmarkTable2QuadCore(b *testing.B)   { benchTable(b, platform.QuadCore()) }
+func BenchmarkTable3Xeon8(b *testing.B)      { benchTable(b, platform.Xeon8()) }
+func BenchmarkTable4Manycore32(b *testing.B) { benchTable(b, platform.Manycore32()) }
+
+// ---- live host runs ----
+
+func BenchmarkLiveImplementations(b *testing.B) {
+	fs := liveCorpus(b)
+	x := runtime.NumCPU() - 1
+	if x < 2 {
+		x = 2
+	}
+	configs := []core.Config{
+		{Implementation: core.Sequential},
+		{Implementation: core.SharedIndex, Extractors: x, Updaters: 1},
+		{Implementation: core.ReplicatedJoin, Extractors: x, Updaters: 2, Joiners: 1},
+		{Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.Implementation.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(fs, ".", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveDiskBound reproduces the paper's 8-core finding on real
+// goroutines: behind a depth-1 disk (vfs.Limited over vfs.DelayFS), no
+// thread count beats the serialized read floor, so the parallel speed-up
+// collapses toward the paper's ≈2× — while the same corpus without the
+// disk limit parallelizes freely.
+func BenchmarkLiveDiskBound(b *testing.B) {
+	mem := vfs.NewMemFS()
+	if _, err := corpus.Generate(corpus.PaperSpec().Scale(1.0/1024), mem); err != nil {
+		b.Fatal(err)
+	}
+	slow := vfs.NewLimited(vfs.NewDelayFS(mem, vfs.DiskModel{
+		Seek:           50 * time.Microsecond,
+		BytesPerSecond: 64 << 20,
+	}), 1)
+	x := runtime.NumCPU() - 1
+	if x < 2 {
+		x = 2
+	}
+	cases := []struct {
+		name string
+		fs   vfs.FS
+		cfg  core.Config
+	}{
+		{"fast-disk/sequential", mem, core.Config{Implementation: core.Sequential}},
+		{"fast-disk/impl3", mem, core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2}},
+		{"slow-disk/sequential", slow, core.Config{Implementation: core.Sequential}},
+		{"slow-disk/impl3", slow, core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(tc.fs, ".", tc.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablation A1: work distribution strategies (§3) ----
+
+func BenchmarkAblationDistribution(b *testing.B) {
+	fs := liveCorpus(b)
+	x := runtime.NumCPU() - 1
+	if x < 2 {
+		x = 2
+	}
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"round-robin", core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Distribution: distribute.RoundRobin}},
+		{"by-size", core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Distribution: distribute.BySize}},
+		{"chunked", core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Distribution: distribute.Chunked}},
+		{"work-stealing", core.Config{Implementation: core.ReplicatedSearch, Extractors: x, WorkStealing: true}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(fs, ".", tc.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablation A2: en-bloc vs immediate insertion (§3) ----
+
+func BenchmarkAblationEnBloc(b *testing.B) {
+	fs := liveCorpus(b)
+	files, err := walk.List(fs, ".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := runtime.NumCPU() - 1
+	if x < 2 {
+		x = 2
+	}
+	parts := distribute.Partition(files, x, distribute.RoundRobin)
+
+	b.Run("en-bloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shared := index.NewShared(1 << 12)
+			var wg sync.WaitGroup
+			for w := 0; w < x; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ex := extract.New(fs, extract.Options{Tokenize: tokenize.Default})
+					for j, f := range parts[w] {
+						block, err := ex.File(f.Path, postings.FileID(w*len(files)+j))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						shared.AddBlock(block.File, block.Terms)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	})
+
+	b.Run("immediate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shared := index.NewShared(1 << 12)
+			var wg sync.WaitGroup
+			for w := 0; w < x; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ex := extract.New(fs, extract.Options{Tokenize: tokenize.Default})
+					for j, f := range parts[w] {
+						id := postings.FileID(w*len(files) + j)
+						err := ex.Occurrences(f.Path, id, func(term string, id postings.FileID) {
+							shared.AddTermOccurrence(term, id)
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	})
+}
+
+// ---- Ablation A3: join strategies (§2.3) ----
+
+func buildReplicas(b *testing.B, n int) []*index.Index {
+	b.Helper()
+	fs := liveCorpus(b)
+	res, err := core.Run(fs, ".", core.Config{
+		Implementation: core.ReplicatedSearch, Extractors: 4, Updaters: n,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Replicas
+}
+
+func BenchmarkAblationJoin(b *testing.B) {
+	const replicas = 8
+	source := buildReplicas(b, replicas)
+	clone := func() []*index.Index {
+		out := make([]*index.Index, len(source))
+		for i, r := range source {
+			out[i] = r.Clone()
+		}
+		return out
+	}
+	b.Run("single-joiner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rs := clone()
+			b.StartTimer()
+			index.JoinAll(rs)
+		}
+	})
+	for _, z := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", z), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rs := clone()
+				b.StartTimer()
+				index.ParallelJoin(rs, z)
+			}
+		})
+	}
+}
+
+// ---- Ablation A4: concurrent Stage 1 (§3) ----
+
+func BenchmarkAblationConcurrentStage1(b *testing.B) {
+	fs := liveCorpus(b)
+	x := runtime.NumCPU() - 1
+	if x < 2 {
+		x = 2
+	}
+	b.Run("upfront", func(b *testing.B) {
+		cfg := core.Config{Implementation: core.SharedIndex, Extractors: x}
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(fs, ".", cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunConcurrentStage1(fs, ".", x, extract.Options{Tokenize: tokenize.Default}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation A5: parallel search over replicas (§5) ----
+
+func BenchmarkAblationParallelSearch(b *testing.B) {
+	fs := liveCorpus(b)
+	res, err := core.Run(fs, ".", core.Config{
+		Implementation: core.ReplicatedSearch, Extractors: 4, Updaters: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	joined := index.JoinAll(func() []*index.Index {
+		out := make([]*index.Index, len(res.Replicas))
+		for i, r := range res.Replicas {
+			out[i] = r.Clone()
+		}
+		return out
+	}())
+
+	vocab := corpus.BuildVocabulary(corpus.PaperSpec().Scale(1.0 / 128))
+	query := search.MustParse(fmt.Sprintf("%s OR %s OR (%s -%s)", vocab[0], vocab[1], vocab[2], vocab[3]))
+
+	singleEngine := search.NewEngine(res.Files, joined)
+	multiSeq := search.NewEngine(res.Files, res.Replicas...)
+	multiSeq.Parallel = false
+	multiPar := search.NewEngine(res.Files, res.Replicas...)
+
+	// Warm the per-engine universes outside the timed region.
+	singleEngine.Search(query)
+	multiSeq.Search(query)
+	multiPar.Search(query)
+
+	b.Run("joined-single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			singleEngine.Search(query)
+		}
+	})
+	b.Run("replicas-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			multiSeq.Search(query)
+		}
+	})
+	b.Run("replicas-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			multiPar.Search(query)
+		}
+	})
+}
+
+// ---- facade benchmark ----
+
+func BenchmarkIndexFS(b *testing.B) {
+	fs := liveCorpus(b)
+	b.Run("auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := IndexFS(fs, ".", Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// Command autotune searches the (x, y, z) thread-configuration space for
+// the fastest pipeline configuration, on a simulated paper platform or on
+// this machine.
+//
+// Usage:
+//
+//	autotune -platform 4core|8core|32core [-impl 1|2|3] [-method exhaustive|hillclimb]
+//	autotune -live -root DIR [-impl 1|2|3] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"desksearch/internal/autotune"
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+	"desksearch/internal/simmodel"
+	"desksearch/internal/vfs"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "32core", "simulated platform: 4core, 8core, 32core")
+		implName = flag.String("impl", "3", "implementation to tune: 1, 2, or 3")
+		method   = flag.String("method", "exhaustive", "search method: exhaustive or hillclimb")
+		live     = flag.Bool("live", false, "tune on this machine instead of the simulator")
+		root     = flag.String("root", "", "directory to index for -live tuning")
+		reps     = flag.Int("reps", 3, "runs averaged per configuration")
+	)
+	flag.Parse()
+
+	im, err := parseImpl(*implName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		obj   autotune.Objective
+		cores int
+	)
+	if *live {
+		if *root == "" {
+			fatal(fmt.Errorf("-live requires -root"))
+		}
+		cores = runtime.NumCPU()
+		obj = autotune.LiveObjective(vfs.NewOSFS(*root), ".", *reps)
+	} else {
+		p, err := platform.ByName(*platName)
+		if err != nil {
+			fatal(err)
+		}
+		cores = p.Cores
+		cs := corpus.Describe(corpus.PaperSpec())
+		obj = autotune.SimObjective(p, cs, simmodel.Options{Batch: 16, Jitter: 0.01, Seed: 1}, *reps)
+		fmt.Printf("tuning %s on simulated %s\n", im, p.Name)
+	}
+	obj = autotune.Memoized(obj)
+
+	space := autotune.DefaultSpace(im, cores)
+	var res autotune.Result
+	switch *method {
+	case "exhaustive":
+		res, err = autotune.Exhaustive(space, obj, autotune.Options{})
+	case "hillclimb":
+		start := core.Default(im, cores)
+		if space.MinReplicas > 1 && start.Updaters < space.MinReplicas {
+			start.Updaters = space.MinReplicas
+		}
+		if im == core.ReplicatedJoin {
+			start.Joiners = 1
+		}
+		res, err = autotune.HillClimb(space, start, obj, 64, autotune.Options{})
+	default:
+		err = fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("best configuration: %s   cost: %.2fs   (%d configurations evaluated)\n",
+		res.Config.Tuple(), res.Cost, res.Evaluated)
+}
+
+func parseImpl(name string) (core.Implementation, error) {
+	switch name {
+	case "1", "shared":
+		return core.SharedIndex, nil
+	case "2", "join":
+		return core.ReplicatedJoin, nil
+	case "3", "nojoin":
+		return core.ReplicatedSearch, nil
+	default:
+		return 0, fmt.Errorf("unknown implementation %q (want 1, 2, or 3)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotune:", err)
+	os.Exit(1)
+}

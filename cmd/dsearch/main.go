@@ -1,0 +1,86 @@
+// Command dsearch answers desktop-search queries from a saved index or by
+// indexing a directory on the fly.
+//
+// Usage:
+//
+//	dsearch -index FILE  QUERY...
+//	dsearch -root DIR [-formats]  QUERY...
+//
+// Queries are boolean: terms AND together, OR/NOT (or a leading '-')
+// and parentheses work as expected: "quarterly report -draft".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"desksearch"
+)
+
+func main() {
+	var (
+		indexFile = flag.String("index", "", "read a saved index from this file")
+		root      = flag.String("root", "", "index this directory before searching")
+		formats   = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
+		limit     = flag.Int("n", 20, "maximum results to print")
+		top       = flag.Int("top", 0, "print the N most frequent terms instead of searching")
+	)
+	flag.Parse()
+	if (flag.NArg() == 0 && *top == 0) || (*indexFile == "") == (*root == "") {
+		fmt.Fprintln(os.Stderr, "usage: dsearch (-index FILE | -root DIR) [-top N] QUERY...")
+		os.Exit(2)
+	}
+
+	var (
+		cat *desksearch.Catalog
+		err error
+	)
+	if *indexFile != "" {
+		f, ferr := os.Open(*indexFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		cat, err = desksearch.Load(f)
+		f.Close()
+	} else {
+		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *top > 0 {
+		fmt.Printf("%d most frequent terms:\n", *top)
+		for _, tc := range cat.TopTerms(*top) {
+			fmt.Printf("%6d  %s\n", tc.Files, tc.Term)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	hits, err := cat.Search(query)
+	if err != nil {
+		fatal(err)
+	}
+	if len(hits) == 0 {
+		fmt.Printf("no matches for %q\n", query)
+		return
+	}
+	fmt.Printf("%d matches for %q:\n", len(hits), query)
+	for i, h := range hits {
+		if i == *limit {
+			fmt.Printf("... and %d more\n", len(hits)-*limit)
+			break
+		}
+		fmt.Printf("%4d. %s\n", h.Score, h.Path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsearch:", err)
+	os.Exit(1)
+}

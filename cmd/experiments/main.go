@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's evaluation tables.
+//
+// Tables 1–4 run on the discrete-event simulator with the three calibrated
+// platform models (4-, 8-, and 32-core Intel machines) over the full
+// 51,000-file corpus shape; -live instead measures the three
+// implementations with real goroutines on this machine over a generated
+// in-memory corpus.
+//
+// Usage:
+//
+//	experiments [-table 0|1|2|3|4] [-reps N] [-batch N] [-seed N]
+//	experiments -live [-scale F] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/experiments"
+	"desksearch/internal/platform"
+	"desksearch/internal/stats"
+	"desksearch/internal/vfs"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "paper table to reproduce (0 = all)")
+		reps   = flag.Int("reps", 5, "simulated runs averaged per configuration (paper: 5)")
+		batch  = flag.Int("batch", 16, "simulator fidelity: files per event batch (1 = exact)")
+		seed   = flag.Int64("seed", 1, "sweep seed")
+		live   = flag.Bool("live", false, "measure live goroutine runs on this machine instead")
+		scale  = flag.Float64("scale", 1.0/32, "live corpus scale relative to the paper's 869 MB")
+		curves = flag.Bool("curves", false, "render speed-up vs thread-count scaling curves instead of tables")
+	)
+	flag.Parse()
+
+	if *live {
+		if err := runLive(*scale, *reps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cs := corpus.Describe(corpus.PaperSpec())
+	opt := experiments.SweepOptions{Reps: *reps, Batch: *batch, Seed: *seed}
+
+	if *curves {
+		out, err := experiments.RunAllCurves(cs, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *table == 0 || *table == 1 {
+		t1 := experiments.RunTable1(cs)
+		fmt.Println(t1.Render())
+		fmt.Println(t1.RenderComparison())
+	}
+	for _, p := range platform.All() {
+		no, err := experiments.TableNumber(p)
+		if err != nil {
+			fatal(err)
+		}
+		if *table != 0 && *table != no {
+			continue
+		}
+		fmt.Printf("sweeping %s ...\n", p.Name)
+		res, err := experiments.RunBestConfigs(p, cs, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+		fmt.Println(res.RenderComparison())
+	}
+}
+
+// runLive measures the three implementations with real goroutines over an
+// in-memory corpus — the host-hardware analogue of Tables 2–4.
+func runLive(scale float64, reps int) error {
+	cores := runtime.NumCPU()
+	fmt.Printf("live run on this machine (%d cores), corpus scale %.4f\n", cores, scale)
+
+	fs := vfs.NewMemFS()
+	spec := corpus.PaperSpec().Scale(scale)
+	if _, err := corpus.Generate(spec, fs); err != nil {
+		return err
+	}
+
+	x := cores - 1
+	if x < 2 {
+		x = 2
+	}
+	configs := []core.Config{
+		{Implementation: core.Sequential},
+		{Implementation: core.SharedIndex, Extractors: x, Updaters: 1},
+		{Implementation: core.ReplicatedJoin, Extractors: x, Updaters: 2, Joiners: 1},
+		{Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2},
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Live implementations on %d cores (mean of %d runs)", cores, reps),
+		"", "config", "exec. time (s)", "speed-up")
+	var seq float64
+	for _, cfg := range configs {
+		sample := &stats.Sample{}
+		for r := 0; r < reps; r++ {
+			res, err := core.Run(fs, ".", cfg)
+			if err != nil {
+				return err
+			}
+			sample.AddDuration(res.Timings.Total)
+		}
+		mean := sample.Mean()
+		if cfg.Implementation == core.Sequential {
+			seq = mean
+			tb.AddRow("Sequential", "-", stats.FormatSeconds(mean), "-")
+			continue
+		}
+		tb.AddRow(cfg.Implementation.String(), cfg.Tuple(),
+			stats.FormatSeconds(mean), stats.FormatSpeedup(stats.Speedup(seq, mean)))
+	}
+	fmt.Println(tb.String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

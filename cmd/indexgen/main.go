@@ -1,0 +1,112 @@
+// Command indexgen builds an inverted index over a directory tree with any
+// of the paper's pipeline implementations and reports stage timings.
+//
+// Usage:
+//
+//	indexgen -root DIR [-impl seq|shared|join|nojoin] [-x N -y N -z N]
+//	         [-formats] [-save FILE] [-stages]
+//
+// With -stages it instead reproduces the paper's Table 1 methodology on
+// the live directory: isolated sequential timings of filename generation,
+// reading, reading+extraction, and index update.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desksearch"
+	"desksearch/internal/core"
+	"desksearch/internal/extract"
+	"desksearch/internal/tokenize"
+	"desksearch/internal/vfs"
+)
+
+func main() {
+	var (
+		root    = flag.String("root", "", "directory to index (required)")
+		impl    = flag.String("impl", "nojoin", "implementation: seq, shared (impl 1), join (impl 2), nojoin (impl 3)")
+		x       = flag.Int("x", 0, "term-extraction threads (0 = auto)")
+		y       = flag.Int("y", 0, "index-update threads")
+		z       = flag.Int("z", 0, "index-join threads (join only)")
+		formats = flag.Bool("formats", false, "strip HTML/WP markup before indexing")
+		save    = flag.String("save", "", "write the built index to this file")
+		stages  = flag.Bool("stages", false, "measure isolated sequential stage times (paper Table 1) and exit")
+	)
+	flag.Parse()
+	if *root == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *stages {
+		st, err := core.MeasureStages(vfs.NewOSFS(*root), ".", extract.Options{
+			Tokenize: tokenize.Default, Formats: *formats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("filename generation:      %8.3fs\n", st.FilenameGen.Seconds())
+		fmt.Printf("read files:               %8.3fs\n", st.ReadFiles.Seconds())
+		fmt.Printf("read files + extract:     %8.3fs\n", st.ReadExtract.Seconds())
+		fmt.Printf("index update:             %8.3fs\n", st.IndexUpdate.Seconds())
+		return
+	}
+
+	implementation, err := parseImpl(*impl)
+	if err != nil {
+		fatal(err)
+	}
+	cat, err := desksearch.IndexDir(*root, desksearch.Options{
+		Implementation: implementation,
+		Extractors:     *x,
+		Updaters:       *y,
+		Joiners:        *z,
+		Formats:        *formats,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := cat.Stats()
+	fGen, eu, join, total := cat.Timings()
+	fmt.Printf("indexed %d files: %d terms, %d postings (%d indices, %d skipped)\n",
+		s.Files, s.Terms, s.Postings, cat.Indices(), s.Skipped)
+	fmt.Printf("filename generation: %.3fs   extract+update: %.3fs   join: %.3fs   total: %.3fs\n",
+		fGen, eu, join, total)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cat.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index saved to %s\n", *save)
+	}
+}
+
+func parseImpl(name string) (desksearch.Implementation, error) {
+	switch name {
+	case "seq", "sequential":
+		return desksearch.Sequential, nil
+	case "shared", "impl1", "1":
+		return desksearch.SharedIndex, nil
+	case "join", "impl2", "2":
+		return desksearch.ReplicatedJoin, nil
+	case "nojoin", "impl3", "3":
+		return desksearch.ReplicatedSearch, nil
+	default:
+		return 0, fmt.Errorf("unknown implementation %q (want seq, shared, join, or nojoin)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indexgen:", err)
+	os.Exit(1)
+}

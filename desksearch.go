@@ -1,0 +1,243 @@
+package desksearch
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"desksearch/internal/core"
+	"desksearch/internal/distribute"
+	"desksearch/internal/extract"
+	"desksearch/internal/index"
+	"desksearch/internal/search"
+	"desksearch/internal/tokenize"
+	"desksearch/internal/vfs"
+)
+
+// Implementation selects one of the paper's parallel designs.
+type Implementation int
+
+const (
+	// Auto picks ReplicatedSearch with a machine-sized thread
+	// configuration — the paper's overall winner.
+	Auto Implementation = iota
+	// Sequential runs single-threaded (the paper's baseline).
+	Sequential
+	// SharedIndex is the paper's Implementation 1.
+	SharedIndex
+	// ReplicatedJoin is the paper's Implementation 2.
+	ReplicatedJoin
+	// ReplicatedSearch is the paper's Implementation 3.
+	ReplicatedSearch
+)
+
+// Options configure index construction. The zero value auto-configures for
+// the host machine.
+type Options struct {
+	// Implementation selects the parallel design.
+	Implementation Implementation
+	// Extractors, Updaters, and Joiners are the paper's (x, y, z) thread
+	// tuple. All zero means auto-size from the CPU count.
+	Extractors, Updaters, Joiners int
+	// Formats enables document-format extraction (HTML, WP markup) before
+	// tokenization.
+	Formats bool
+	// Stopwords, when non-empty, excludes the listed words from the index.
+	Stopwords []string
+	// MinTermLen drops terms shorter than this many bytes (0 = keep all).
+	MinTermLen int
+}
+
+func (o Options) coreConfig() (core.Config, error) {
+	cfg := core.Config{
+		Extractors:   o.Extractors,
+		Updaters:     o.Updaters,
+		Joiners:      o.Joiners,
+		Distribution: distribute.RoundRobin,
+	}
+	tok := tokenize.Default
+	if o.MinTermLen > 0 {
+		tok.MinLen = o.MinTermLen
+	}
+	if len(o.Stopwords) > 0 {
+		tok.Stopwords = tokenize.NewStopSet(o.Stopwords)
+	}
+	cfg.Extract = extract.Options{Tokenize: tok, Formats: o.Formats}
+
+	switch o.Implementation {
+	case Auto:
+		cfg.Implementation = core.ReplicatedSearch
+		if cfg.Extractors == 0 {
+			auto := core.Default(core.ReplicatedSearch, runtime.NumCPU())
+			cfg.Extractors, cfg.Updaters = auto.Extractors, auto.Updaters
+			if cfg.Updaters < 2 {
+				cfg.Updaters = 2 // replication needs at least two replicas
+			}
+		}
+	case Sequential:
+		cfg.Implementation = core.Sequential
+	case SharedIndex:
+		cfg.Implementation = core.SharedIndex
+	case ReplicatedJoin:
+		cfg.Implementation = core.ReplicatedJoin
+	case ReplicatedSearch:
+		cfg.Implementation = core.ReplicatedSearch
+	default:
+		return core.Config{}, fmt.Errorf("desksearch: unknown implementation %d", int(o.Implementation))
+	}
+	if cfg.Implementation != core.Sequential && cfg.Extractors == 0 {
+		auto := core.Default(cfg.Implementation, runtime.NumCPU())
+		cfg.Extractors, cfg.Updaters = auto.Extractors, auto.Updaters
+	}
+	return cfg, nil
+}
+
+// Result is one search hit.
+type Result struct {
+	// Path is the matched file, relative to the indexed root.
+	Path string
+	// Score counts how many distinct query terms the file contains.
+	Score int
+}
+
+// Stats summarizes a catalog.
+type Stats struct {
+	// Files is the number of files indexed.
+	Files int
+	// Terms is the number of distinct terms (summed across replicas, so
+	// an upper bound for ReplicatedSearch catalogs).
+	Terms int
+	// Postings is the number of (term, file) pairs.
+	Postings int64
+	// Skipped is the number of unreadable files that were skipped.
+	Skipped int
+}
+
+// Catalog is a built index (or replica set) ready to answer queries.
+type Catalog struct {
+	result *core.Result
+	engine *search.Engine
+}
+
+// IndexDir indexes every file under dir on the host filesystem.
+func IndexDir(dir string, opt Options) (*Catalog, error) {
+	return IndexFS(vfs.NewOSFS(dir), ".", opt)
+}
+
+// IndexFS indexes every file under root in the given filesystem. It is the
+// hook for in-memory corpora (internal/vfs.MemFS) used by the examples and
+// benchmarks.
+func IndexFS(fsys vfs.FS, root string, opt Options) (*Catalog, error) {
+	cfg, err := opt.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(fsys, root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newCatalog(res), nil
+}
+
+func newCatalog(res *core.Result) *Catalog {
+	return &Catalog{
+		result: res,
+		engine: search.NewEngine(res.Files, res.Indexes()...),
+	}
+}
+
+// Search runs a boolean query ("cat dog", "cat OR dog", "report -draft",
+// parentheses allowed) and returns hits ordered by score.
+func (c *Catalog) Search(query string) ([]Result, error) {
+	hits, err := c.engine.SearchString(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(hits))
+	for i, h := range hits {
+		out[i] = Result{Path: h.Path, Score: h.Score}
+	}
+	return out, nil
+}
+
+// Stats summarizes the catalog.
+func (c *Catalog) Stats() Stats {
+	s := c.result.Stats()
+	return Stats{
+		Files:    c.result.Files.Len(),
+		Terms:    s.Terms,
+		Postings: s.Postings,
+		Skipped:  len(c.result.SkippedFiles),
+	}
+}
+
+// Indices reports how many indices answer queries (1, or the replica count
+// for ReplicatedSearch).
+func (c *Catalog) Indices() int { return c.engine.Indices() }
+
+// Timings returns the pipeline phase durations of the build, in seconds:
+// filename generation, extraction+update, join, and total.
+func (c *Catalog) Timings() (filenameGen, extractUpdate, join, total float64) {
+	t := c.result.Timings
+	return t.FilenameGen.Seconds(), t.ExtractUpdate.Seconds(), t.Join.Seconds(), t.Total.Seconds()
+}
+
+// TermCount is a term with the number of files containing it.
+type TermCount struct {
+	Term  string
+	Files int
+}
+
+// TopTerms returns the catalog's n most frequent terms by document count.
+// For replica catalogs the counts are aggregated across replicas.
+func (c *Catalog) TopTerms(n int) []TermCount {
+	if n <= 0 {
+		return nil
+	}
+	indexes := c.result.Indexes()
+	var source *index.Index
+	if len(indexes) == 1 {
+		source = indexes[0]
+	} else {
+		// Aggregate on clones so the live replicas stay untouched.
+		clones := make([]*index.Index, len(indexes))
+		for i, ix := range indexes {
+			clones[i] = ix.Clone()
+		}
+		source = index.JoinAll(clones)
+	}
+	top := source.TopTerms(n)
+	out := make([]TermCount, len(top))
+	for i, tc := range top {
+		out[i] = TermCount{Term: tc.Term, Files: tc.Files}
+	}
+	return out
+}
+
+// Save writes the catalog to w in the binary index format. Replica sets
+// are joined first — on copies, so the live catalog stays queryable — and
+// a saved catalog always reloads as a single index.
+func (c *Catalog) Save(w io.Writer) error {
+	ix := c.result.Index
+	if ix == nil {
+		replicas := make([]*index.Index, len(c.result.Replicas))
+		for i, r := range c.result.Replicas {
+			replicas[i] = r.Clone()
+		}
+		ix = index.JoinAll(replicas)
+	}
+	return index.Save(w, ix, c.result.Files)
+}
+
+// Load reads a catalog previously written by Save.
+func Load(r io.Reader) (*Catalog, error) {
+	ix, files, err := index.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return newCatalog(&core.Result{
+		Implementation: core.Sequential,
+		Files:          files,
+		Index:          ix,
+	}), nil
+}

@@ -1,0 +1,260 @@
+package desksearch
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"desksearch/internal/vfs"
+)
+
+func demoFS(t *testing.T) *vfs.MemFS {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	files := map[string]string{
+		"notes/todo.txt":     "buy milk, write report",
+		"notes/done.txt":     "report submitted yesterday",
+		"work/report.txt":    "quarterly report draft for review",
+		"work/final.txt":     "quarterly report final version",
+		"misc/recipe.txt":    "pancakes with milk and flour",
+		"misc/page.html":     "<html><body>milk allergy information</body></html>",
+		"misc/old-report.wp": ".wp 1.0\n.ti Old Report\nancient quarterly numbers\n",
+		"misc/numbers.txt":   "2023 2024 2025",
+	}
+	for name, content := range files {
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func paths(results []Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Path
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestIndexFSAndSearch(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := cat.Search("report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"misc/old-report.wp", "notes/done.txt", "notes/todo.txt", "work/final.txt", "work/report.txt"}
+	if !reflect.DeepEqual(paths(hits), want) {
+		t.Errorf("report → %v", paths(hits))
+	}
+}
+
+func TestSearchBooleanOperators(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := cat.Search("quarterly report -draft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"misc/old-report.wp", "work/final.txt"}
+	if !reflect.DeepEqual(paths(hits), want) {
+		t.Errorf("got %v, want %v", paths(hits), want)
+	}
+	if cat.Indices() != 2 {
+		t.Errorf("Indices = %d, want 2 replicas", cat.Indices())
+	}
+}
+
+func TestAllImplementationsAnswerIdentically(t *testing.T) {
+	queries := []string{"milk", "report -quarterly", "milk OR report", "quarterly (final OR draft)"}
+	var reference [][]string
+	for _, impl := range []Implementation{Sequential, SharedIndex, ReplicatedJoin, ReplicatedSearch} {
+		cat, err := IndexFS(demoFS(t), ".", Options{Implementation: impl, Extractors: 3, Updaters: 2, Joiners: 1})
+		if err != nil {
+			t.Fatalf("%d: %v", impl, err)
+		}
+		var answers [][]string
+		for _, q := range queries {
+			hits, err := cat.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			answers = append(answers, paths(hits))
+		}
+		if reference == nil {
+			reference = answers
+			continue
+		}
+		if !reflect.DeepEqual(answers, reference) {
+			t.Errorf("implementation %d answers differ: %v vs %v", impl, answers, reference)
+		}
+	}
+}
+
+func TestFormatsOption(t *testing.T) {
+	with, err := IndexFS(demoFS(t), ".", Options{Formats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := with.Search("allergy")
+	if len(hits) != 1 || hits[0].Path != "misc/page.html" {
+		t.Errorf("formats on: allergy → %v", hits)
+	}
+	// Markup terms must not be indexed with Formats on.
+	if hits, _ := with.Search("body"); len(hits) != 0 {
+		t.Errorf("markup leaked: %v", hits)
+	}
+	without, err := IndexFS(demoFS(t), ".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := without.Search("body"); len(hits) == 0 {
+		t.Error("formats off should index raw markup")
+	}
+}
+
+func TestStopwordsAndMinTermLen(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{Stopwords: []string{"report"}, MinTermLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cat.Search("report"); len(hits) != 0 {
+		t.Errorf("stopword indexed: %v", hits)
+	}
+	// MinTermLen 3 drops "wp" (2 bytes).
+	if hits, _ := cat.Search("wp"); len(hits) != 0 {
+		t.Errorf("short term indexed: %v", hits)
+	}
+}
+
+func TestStats(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cat.Stats()
+	if s.Files != 8 {
+		t.Errorf("Files = %d", s.Files)
+	}
+	if s.Terms == 0 || s.Postings == 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+	if s.Skipped != 0 {
+		t.Errorf("Skipped = %d", s.Skipped)
+	}
+	f, eu, j, tot := cat.Timings()
+	if f < 0 || eu <= 0 || j != 0 || tot <= 0 {
+		t.Errorf("timings = %v %v %v %v", f, eu, j, tot)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, impl := range []Implementation{SharedIndex, ReplicatedSearch} {
+		cat, err := IndexFS(demoFS(t), ".", Options{Implementation: impl, Extractors: 3, Updaters: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cat.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []string{"report", "milk OR flour", "quarterly -draft"} {
+			a, _ := cat.Search(q)
+			b, _ := loaded.Search(q)
+			if !reflect.DeepEqual(paths(a), paths(b)) {
+				t.Errorf("impl %d %q: %v vs %v", impl, q, paths(a), paths(b))
+			}
+		}
+		// Saving a replica catalog must leave it queryable (copies joined).
+		if _, err := cat.Search("report"); err != nil {
+			t.Errorf("catalog broken after Save: %v", err)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index at all, sorry!"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestIndexDirOnHostFS(t *testing.T) {
+	dir := t.TempDir()
+	fs := vfs.NewOSFS(dir)
+	if err := fs.WriteFile("a/hello.txt", []byte("hello desktop search")); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := IndexDir(dir, Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := cat.Search("desktop")
+	if err != nil || len(hits) != 1 || hits[0].Path != "a/hello.txt" {
+		t.Errorf("hits = %v, %v", hits, err)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := IndexFS(demoFS(t), ".", Options{Implementation: Implementation(42)}); err == nil {
+		t.Error("bad implementation accepted")
+	}
+	if _, err := IndexFS(demoFS(t), "missing", Options{}); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestAutoConfiguration(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto uses ReplicatedSearch with ≥2 replicas on any multicore host.
+	if cat.Indices() < 1 {
+		t.Errorf("Indices = %d", cat.Indices())
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	for _, impl := range []Implementation{Sequential, ReplicatedSearch} {
+		cat, err := IndexFS(demoFS(t), ".", Options{Implementation: impl, Extractors: 3, Updaters: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := cat.TopTerms(3)
+		if len(top) != 3 {
+			t.Fatalf("impl %d: TopTerms = %v", impl, top)
+		}
+		// "report" appears in 5 files; "milk" in 3.
+		if top[0].Term != "report" || top[0].Files != 5 {
+			t.Errorf("impl %d: top term = %+v, want report/5", impl, top[0])
+		}
+		if cat.TopTerms(0) != nil {
+			t.Error("TopTerms(0) should be nil")
+		}
+		// The catalog must stay queryable after aggregation.
+		if _, err := cat.Search("report"); err != nil {
+			t.Errorf("catalog broken after TopTerms: %v", err)
+		}
+	}
+}
+
+func TestSearchParseError(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Search("((("); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,30 @@
+// Package desksearch is a parallel index generator and search engine for
+// desktop search, reproducing Meder & Tichy, "Parallelizing an Index
+// Generator for Desktop Search" (Karlsruhe Reports in Informatics 2010-9).
+//
+// The package builds an inverted index — for every term, the files that
+// contain it — over a directory tree, using the paper's three-stage
+// pipeline (filename generation, term extraction, index update) and its
+// three parallel designs:
+//
+//   - SharedIndex: one index, locked on update (the paper's
+//     Implementation 1);
+//   - ReplicatedJoin: one private index per updater, merged at the end by
+//     the "Join Forces" pattern (Implementation 2);
+//   - ReplicatedSearch: private indices left unjoined, searched in
+//     parallel (Implementation 3 — the winner on high core counts).
+//
+// # Quick start
+//
+//	cat, err := desksearch.IndexDir("/home/me/documents", desksearch.Options{})
+//	if err != nil { ... }
+//	hits, err := cat.Search("quarterly report -draft")
+//	for _, h := range hits {
+//		fmt.Println(h.Path)
+//	}
+//
+// The experiment harness that regenerates the paper's Tables 1–4 on
+// simulated 4-, 8-, and 32-core machines lives in cmd/experiments; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package desksearch

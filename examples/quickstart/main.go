@@ -1,0 +1,57 @@
+// Quickstart: build an index over an in-memory corpus and search it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desksearch"
+	"desksearch/internal/vfs"
+)
+
+func main() {
+	// A miniature "home directory".
+	fs := vfs.NewMemFS()
+	files := map[string]string{
+		"docs/thesis-draft.txt": "thesis draft: parallel index generation for desktop search",
+		"docs/thesis-final.txt": "thesis final: parallel index generation for desktop search",
+		"mail/inbox.txt":        "lunch tomorrow? also the search demo crashed again",
+		"mail/sent.txt":         "fixed the demo, the index rebuild was racing the search",
+		"notes/shopping.txt":    "milk eggs flour",
+	}
+	for name, content := range files {
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Index with the paper's Implementation 3 (replicated indices,
+	// searched in parallel) — desksearch.Options{} auto-sizes it.
+	cat, err := desksearch.IndexFS(fs, ".", desksearch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := cat.Stats()
+	fmt.Printf("indexed %d files into %d terms, %d postings (%d parallel indices)\n\n",
+		s.Files, s.Terms, s.Postings, cat.Indices())
+
+	for _, query := range []string{
+		"search",
+		"index search",
+		"thesis -draft",
+		"milk OR eggs",
+	} {
+		hits, err := cat.Search(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16q -> %d hit(s)\n", query, len(hits))
+		for _, h := range hits {
+			fmt.Printf("    score %d  %s\n", h.Score, h.Path)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Simulation: replay the paper's 32-core experiment (Table 4) on the
+// discrete-event simulator and watch the implementation ranking flip as
+// core count grows.
+//
+// On 4 cores the three designs tie; on 32 cores the shared-index lock and
+// cache traffic cap Implementation 1 at ≈1.96×, while the unjoined
+// replicas of Implementation 3 reach ≈3.5×. This example reproduces that
+// crossover in seconds of host time — no 32-core machine required.
+//
+// Run with:
+//
+//	go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+	"desksearch/internal/simmodel"
+)
+
+func main() {
+	// The full 51,000-file / 869 MB benchmark — as metadata only.
+	cs := corpus.Describe(corpus.PaperSpec())
+	fmt.Printf("workload: %d files, %.0f MB, %d postings\n\n",
+		len(cs.Files), float64(cs.TotalBytes)/(1<<20), cs.TotalUnique)
+
+	// The paper's best configurations per platform and implementation.
+	best := map[int]map[core.Implementation]core.Config{
+		4: {
+			core.SharedIndex:      {Implementation: core.SharedIndex, Extractors: 3, Updaters: 1},
+			core.ReplicatedJoin:   {Implementation: core.ReplicatedJoin, Extractors: 3, Updaters: 5, Joiners: 1},
+			core.ReplicatedSearch: {Implementation: core.ReplicatedSearch, Extractors: 3, Updaters: 2},
+		},
+		8: {
+			core.SharedIndex:      {Implementation: core.SharedIndex, Extractors: 3, Updaters: 2},
+			core.ReplicatedJoin:   {Implementation: core.ReplicatedJoin, Extractors: 6, Updaters: 2, Joiners: 1},
+			core.ReplicatedSearch: {Implementation: core.ReplicatedSearch, Extractors: 6, Updaters: 2},
+		},
+		32: {
+			core.SharedIndex:      {Implementation: core.SharedIndex, Extractors: 8, Updaters: 4},
+			core.ReplicatedJoin:   {Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 4, Joiners: 1},
+			core.ReplicatedSearch: {Implementation: core.ReplicatedSearch, Extractors: 9, Updaters: 4},
+		},
+	}
+
+	for _, p := range platform.All() {
+		seq, err := simmodel.SequentialBaseline(p, cs, simmodel.Options{Batch: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — sequential %.0fs\n", p.Name, seq)
+		for _, im := range []core.Implementation{core.SharedIndex, core.ReplicatedJoin, core.ReplicatedSearch} {
+			cfg := best[p.Cores][im]
+			res, err := simmodel.Simulate(p, cs, cfg, simmodel.Options{Batch: 16})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bar := ""
+			for i := 0; i < int(seq/res.Exec*10); i++ {
+				bar += "#"
+			}
+			fmt.Printf("  %-18s %-10s %6.1fs  speed-up %4.2fx  %s\n",
+				im, cfg.Tuple(), res.Exec, seq/res.Exec, bar)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The ranking flips with scale: equivalent on 4 cores, lock-bound on 32.")
+	fmt.Println("That is the paper's core finding — the optimal design is platform-specific.")
+}

@@ -1,0 +1,260 @@
+// Package autotune searches the thread-configuration space (x, y, z) for
+// the fastest pipeline configuration.
+//
+// The paper used the auto-tuner of Schäfer et al. to explore configurations
+// ("Use an auto-tuner to speed up exploring the design space", lesson 6) but
+// could not apply it throughout because it targeted C#. This package plays
+// that role here: an exhaustive sweep for the experiment tables, and a
+// cheaper hill-climbing search for interactive tuning, both over a
+// pluggable objective (simulated or live runs).
+package autotune
+
+import (
+	"fmt"
+
+	"desksearch/internal/core"
+)
+
+// Objective evaluates one configuration and returns its cost in seconds
+// (lower is better).
+type Objective func(cfg core.Config) (float64, error)
+
+// Space bounds the configurations to explore for one implementation.
+type Space struct {
+	// Implementation to tune.
+	Implementation core.Implementation
+	// MaxExtractors bounds x (≥ 1).
+	MaxExtractors int
+	// MaxUpdaters bounds y (0 allows extractor-updates-directly configs).
+	MaxUpdaters int
+	// Joiners lists the z values to try. Empty means {0} for designs that
+	// never join and {1} for ReplicatedJoin.
+	Joiners []int
+	// MinReplicas excludes degenerate replica counts: the replicated
+	// implementations are defined by replication, so the paper's sweeps
+	// require at least two replicas. Zero means no constraint.
+	MinReplicas int
+}
+
+// DefaultSpace returns the sweep the experiment harness uses for a machine
+// with cores cores, mirroring the paper's "any combination of thread
+// counts" within practical bounds.
+func DefaultSpace(im core.Implementation, cores int) Space {
+	maxX := 2 * cores
+	if maxX > 16 {
+		maxX = 16
+	}
+	maxY := cores
+	if maxY > 8 {
+		maxY = 8
+	}
+	s := Space{
+		Implementation: im,
+		MaxExtractors:  maxX,
+		MaxUpdaters:    maxY,
+	}
+	switch im {
+	case core.ReplicatedJoin:
+		s.Joiners = []int{1, 2, 4}
+		s.MinReplicas = 2
+	case core.ReplicatedSearch:
+		s.MinReplicas = 2
+	case core.Sequential:
+		s.MaxExtractors = 1
+		s.MaxUpdaters = 0
+	}
+	return s
+}
+
+// Configs enumerates the space in deterministic order.
+func (s Space) Configs() []core.Config {
+	maxX := s.MaxExtractors
+	if maxX < 1 {
+		maxX = 1
+	}
+	joiners := s.Joiners
+	if len(joiners) == 0 {
+		if s.Implementation == core.ReplicatedJoin {
+			joiners = []int{1}
+		} else {
+			joiners = []int{0}
+		}
+	}
+	var out []core.Config
+	for x := 1; x <= maxX; x++ {
+		for y := 0; y <= s.MaxUpdaters; y++ {
+			for _, z := range joiners {
+				cfg := core.Config{
+					Implementation: s.Implementation,
+					Extractors:     x,
+					Updaters:       y,
+					Joiners:        z,
+				}
+				if s.MinReplicas > 0 && cfg.Replicas() < s.MinReplicas {
+					continue
+				}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Config is the chosen configuration.
+	Config core.Config
+	// Cost is its objective value in seconds.
+	Cost float64
+	// Evaluated counts objective calls (cache misses only).
+	Evaluated int
+}
+
+// Options tune the search itself.
+type Options struct {
+	// TieTolerance treats configurations within this relative distance of
+	// the optimum as ties and picks the one with the fewest threads —
+	// flat regions of the space otherwise make the reported "best
+	// configuration" an arbitrary noise artifact. Zero means 1 %.
+	TieTolerance float64
+}
+
+func (o Options) tieTolerance() float64 {
+	if o.TieTolerance <= 0 {
+		return 0.01
+	}
+	return o.TieTolerance
+}
+
+// Exhaustive evaluates every configuration in the space and returns the
+// best, breaking near-ties toward fewer threads.
+func Exhaustive(space Space, obj Objective, opt Options) (Result, error) {
+	configs := space.Configs()
+	if len(configs) == 0 {
+		return Result{}, fmt.Errorf("autotune: empty space")
+	}
+	type entry struct {
+		cfg  core.Config
+		cost float64
+	}
+	entries := make([]entry, 0, len(configs))
+	best := -1.0
+	for _, cfg := range configs {
+		cost, err := obj(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("autotune: %s: %w", cfg.Tuple(), err)
+		}
+		entries = append(entries, entry{cfg, cost})
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	chosen := entry{cost: -1}
+	for _, e := range entries {
+		if e.cost > best*(1+opt.tieTolerance()) {
+			continue
+		}
+		if chosen.cost < 0 || threads(e.cfg) < threads(chosen.cfg) ||
+			(threads(e.cfg) == threads(chosen.cfg) && e.cost < chosen.cost) {
+			chosen = e
+		}
+	}
+	return Result{Config: chosen.cfg, Cost: chosen.cost, Evaluated: len(entries)}, nil
+}
+
+func threads(cfg core.Config) int {
+	return cfg.Extractors + cfg.Updaters + cfg.Joiners
+}
+
+// HillClimb starts from start and greedily follows single-step
+// neighbourhood improvements (±1 on each of x, y, z) until no neighbour is
+// better or maxSteps is exhausted. It evaluates far fewer configurations
+// than Exhaustive but can stop in a local minimum — which is exactly the
+// trade-off an interactive tuner makes.
+func HillClimb(space Space, start core.Config, obj Objective, maxSteps int, opt Options) (Result, error) {
+	if maxSteps < 1 {
+		maxSteps = 32
+	}
+	valid := map[string]bool{}
+	for _, cfg := range space.Configs() {
+		valid[key(cfg)] = true
+	}
+	if !valid[key(normalize(start, space))] {
+		return Result{}, fmt.Errorf("autotune: start %s outside space", start.Tuple())
+	}
+	cur := normalize(start, space)
+
+	cache := map[string]float64{}
+	evaluated := 0
+	eval := func(cfg core.Config) (float64, error) {
+		k := key(cfg)
+		if c, ok := cache[k]; ok {
+			return c, nil
+		}
+		c, err := obj(cfg)
+		if err != nil {
+			return 0, err
+		}
+		cache[k] = c
+		evaluated++
+		return c, nil
+	}
+
+	curCost, err := eval(cur)
+	if err != nil {
+		return Result{}, err
+	}
+	for step := 0; step < maxSteps; step++ {
+		improved := false
+		for _, nb := range neighbors(cur) {
+			if !valid[key(nb)] {
+				continue
+			}
+			cost, err := eval(nb)
+			if err != nil {
+				return Result{}, err
+			}
+			if cost < curCost*(1-1e-9) {
+				cur, curCost = nb, cost
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{Config: cur, Cost: curCost, Evaluated: evaluated}, nil
+}
+
+func normalize(cfg core.Config, space Space) core.Config {
+	cfg.Implementation = space.Implementation
+	if cfg.Extractors < 1 {
+		cfg.Extractors = 1
+	}
+	return cfg
+}
+
+func key(cfg core.Config) string {
+	return fmt.Sprintf("%d/%s", int(cfg.Implementation), cfg.Tuple())
+}
+
+func neighbors(cfg core.Config) []core.Config {
+	var out []core.Config
+	deltas := []struct{ dx, dy, dz int }{
+		{1, 0, 0}, {-1, 0, 0},
+		{0, 1, 0}, {0, -1, 0},
+		{0, 0, 1}, {0, 0, -1},
+	}
+	for _, d := range deltas {
+		nb := cfg
+		nb.Extractors += d.dx
+		nb.Updaters += d.dy
+		nb.Joiners += d.dz
+		if nb.Extractors < 1 || nb.Updaters < 0 || nb.Joiners < 0 {
+			continue
+		}
+		out = append(out, nb)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+	"desksearch/internal/simmodel"
+	"desksearch/internal/vfs"
+)
+
+// quadratic is a synthetic objective with a unique known minimum.
+func quadratic(bestX, bestY, bestZ int) Objective {
+	return func(cfg core.Config) (float64, error) {
+		dx := float64(cfg.Extractors - bestX)
+		dy := float64(cfg.Updaters - bestY)
+		dz := float64(cfg.Joiners - bestZ)
+		return 10 + dx*dx + dy*dy + dz*dz, nil
+	}
+}
+
+func TestSpaceConfigsBounds(t *testing.T) {
+	s := Space{Implementation: core.SharedIndex, MaxExtractors: 3, MaxUpdaters: 2}
+	configs := s.Configs()
+	if len(configs) != 3*3 { // x ∈ 1..3, y ∈ 0..2, z = {0}
+		t.Fatalf("got %d configs", len(configs))
+	}
+	for _, cfg := range configs {
+		if cfg.Extractors < 1 || cfg.Extractors > 3 || cfg.Updaters < 0 || cfg.Updaters > 2 || cfg.Joiners != 0 {
+			t.Errorf("out-of-space config %s", cfg.Tuple())
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("invalid config enumerated: %v", err)
+		}
+	}
+}
+
+func TestSpaceMinReplicas(t *testing.T) {
+	s := Space{Implementation: core.ReplicatedSearch, MaxExtractors: 4, MaxUpdaters: 3, MinReplicas: 2}
+	for _, cfg := range s.Configs() {
+		if cfg.Replicas() < 2 {
+			t.Errorf("degenerate replica config enumerated: %s (%d replicas)", cfg.Tuple(), cfg.Replicas())
+		}
+	}
+	// (1, 0, 0) — one extractor updating its own single replica — and any
+	// y=1 config must be excluded.
+	for _, cfg := range s.Configs() {
+		if cfg.Updaters == 1 {
+			t.Errorf("y=1 enumerated for replicated: %s", cfg.Tuple())
+		}
+	}
+}
+
+func TestDefaultSpaces(t *testing.T) {
+	for _, im := range []core.Implementation{core.SharedIndex, core.ReplicatedJoin, core.ReplicatedSearch} {
+		s := DefaultSpace(im, 8)
+		if len(s.Configs()) == 0 {
+			t.Errorf("%v: empty default space", im)
+		}
+	}
+	if n := len(DefaultSpace(core.Sequential, 8).Configs()); n != 1 {
+		t.Errorf("sequential space has %d configs", n)
+	}
+	if s := DefaultSpace(core.ReplicatedJoin, 8); len(s.Joiners) == 0 || s.MinReplicas != 2 {
+		t.Errorf("join space = %+v", s)
+	}
+	// Bounds cap at 16/8 even on huge machines.
+	big := DefaultSpace(core.SharedIndex, 64)
+	if big.MaxExtractors > 16 || big.MaxUpdaters > 8 {
+		t.Errorf("unbounded space: %+v", big)
+	}
+}
+
+func TestExhaustiveFindsKnownMinimum(t *testing.T) {
+	s := Space{Implementation: core.ReplicatedJoin, MaxExtractors: 8, MaxUpdaters: 6, Joiners: []int{0, 1, 2, 3}}
+	res, err := Exhaustive(s, quadratic(5, 3, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Extractors != 5 || res.Config.Updaters != 3 || res.Config.Joiners != 2 {
+		t.Errorf("found %s, want (5, 3, 2)", res.Config.Tuple())
+	}
+	if math.Abs(res.Cost-10) > 1e-12 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.Evaluated != len(s.Configs()) {
+		t.Errorf("Evaluated = %d, want %d", res.Evaluated, len(s.Configs()))
+	}
+}
+
+func TestExhaustiveTieBreaksTowardFewerThreads(t *testing.T) {
+	// A flat objective: everything ties; the smallest config must win.
+	flat := func(cfg core.Config) (float64, error) { return 42, nil }
+	s := Space{Implementation: core.SharedIndex, MaxExtractors: 6, MaxUpdaters: 4}
+	res, err := Exhaustive(s, flat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Extractors != 1 || res.Config.Updaters != 0 {
+		t.Errorf("flat objective chose %s, want (1, 0, 0)", res.Config.Tuple())
+	}
+}
+
+func TestExhaustivePropagatesErrors(t *testing.T) {
+	s := Space{Implementation: core.SharedIndex, MaxExtractors: 2, MaxUpdaters: 0}
+	bad := func(cfg core.Config) (float64, error) { return 0, fmt.Errorf("boom") }
+	if _, err := Exhaustive(s, bad, Options{}); err == nil {
+		t.Error("objective error swallowed")
+	}
+}
+
+func TestHillClimbFindsConvexMinimum(t *testing.T) {
+	s := Space{Implementation: core.ReplicatedJoin, MaxExtractors: 10, MaxUpdaters: 8, Joiners: []int{0, 1, 2, 3, 4}}
+	res, err := HillClimb(s, core.Config{Implementation: core.ReplicatedJoin, Extractors: 1, Updaters: 0, Joiners: 0},
+		quadratic(6, 4, 2), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Extractors != 6 || res.Config.Updaters != 4 || res.Config.Joiners != 2 {
+		t.Errorf("hill climb found %s, want (6, 4, 2)", res.Config.Tuple())
+	}
+	exhaustiveEvals := len(s.Configs())
+	if res.Evaluated >= exhaustiveEvals {
+		t.Errorf("hill climb evaluated %d ≥ exhaustive %d", res.Evaluated, exhaustiveEvals)
+	}
+}
+
+func TestHillClimbRejectsStartOutsideSpace(t *testing.T) {
+	s := Space{Implementation: core.SharedIndex, MaxExtractors: 2, MaxUpdaters: 1}
+	if _, err := HillClimb(s, core.Config{Implementation: core.SharedIndex, Extractors: 99}, quadratic(1, 0, 0), 10, Options{}); err == nil {
+		t.Error("out-of-space start accepted")
+	}
+}
+
+func TestMemoizedCaches(t *testing.T) {
+	calls := 0
+	obj := Memoized(func(cfg core.Config) (float64, error) {
+		calls++
+		return float64(cfg.Extractors), nil
+	})
+	cfg := core.Config{Implementation: core.SharedIndex, Extractors: 3}
+	for i := 0; i < 5; i++ {
+		if c, err := obj(cfg); err != nil || c != 3 {
+			t.Fatalf("obj = %v, %v", c, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("objective called %d times", calls)
+	}
+}
+
+func TestSimObjectiveAgainstModel(t *testing.T) {
+	cs := corpus.Describe(corpus.PaperSpec().Scale(1.0 / 16))
+	p := platform.Manycore32()
+	obj := SimObjective(p, cs, simmodel.Options{Batch: 16}, 2)
+	c1, err := obj(core.Config{Implementation: core.SharedIndex, Extractors: 8, Updaters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := obj(core.Config{Implementation: core.ReplicatedSearch, Extractors: 9, Updaters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 >= c1 {
+		t.Errorf("Impl3 (%.1f) should beat Impl1 (%.1f) on the 32-core model", c3, c1)
+	}
+}
+
+// TestTunerReproducesPaperOrdering is the autotuner's integration test: on
+// the 32-core platform, the tuned best of each implementation must order
+// Impl1 > Impl2 > Impl3 in execution time, as in the paper's Table 4.
+func TestTunerReproducesPaperOrdering(t *testing.T) {
+	cs := corpus.Describe(corpus.PaperSpec().Scale(1.0 / 8))
+	p := platform.Manycore32()
+	opt := simmodel.Options{Batch: 32}
+	costs := map[core.Implementation]float64{}
+	for _, im := range []core.Implementation{core.SharedIndex, core.ReplicatedJoin, core.ReplicatedSearch} {
+		space := DefaultSpace(im, p.Cores)
+		// Keep the test quick: halve the grid.
+		space.MaxExtractors = 10
+		space.MaxUpdaters = 5
+		res, err := Exhaustive(space, SimObjective(p, cs, opt, 1), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[im] = res.Cost
+	}
+	if !(costs[core.SharedIndex] > costs[core.ReplicatedJoin] && costs[core.ReplicatedJoin] > costs[core.ReplicatedSearch]) {
+		t.Errorf("tuned ordering broken: I1=%.1f I2=%.1f I3=%.1f",
+			costs[core.SharedIndex], costs[core.ReplicatedJoin], costs[core.ReplicatedSearch])
+	}
+}
+
+func TestLiveObjectiveRuns(t *testing.T) {
+	fs := vfs.NewMemFS()
+	spec := corpus.SmallSpec()
+	spec.Files = 40
+	spec.TotalBytes = 200 << 10
+	if _, err := corpus.Generate(spec, fs); err != nil {
+		t.Fatal(err)
+	}
+	obj := LiveObjective(fs, ".", 1)
+	cost, err := obj(core.Config{Implementation: core.SharedIndex, Extractors: 2, Updaters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+	if _, err := obj(core.Config{Implementation: core.Implementation(9)}); err == nil {
+		t.Error("invalid config accepted by live objective")
+	}
+}

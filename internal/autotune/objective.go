@@ -1,0 +1,73 @@
+package autotune
+
+import (
+	"time"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+	"desksearch/internal/simmodel"
+	"desksearch/internal/vfs"
+)
+
+// SimObjective returns an objective that evaluates configurations on the
+// discrete-event simulator, averaging reps jittered runs — the paper's
+// five-runs-per-configuration methodology at simulator speed.
+func SimObjective(p platform.Profile, cs corpus.Stats, opt simmodel.Options, reps int) Objective {
+	if reps < 1 {
+		reps = 1
+	}
+	return func(cfg core.Config) (float64, error) {
+		var sum float64
+		for r := 0; r < reps; r++ {
+			o := opt
+			o.Seed = opt.Seed + int64(r)
+			res, err := simmodel.Simulate(p, cs, cfg, o)
+			if err != nil {
+				return 0, err
+			}
+			sum += res.Exec
+		}
+		return sum / float64(reps), nil
+	}
+}
+
+// LiveObjective returns an objective that evaluates configurations by
+// actually running the pipeline on fsys with real goroutines, averaging
+// reps wall-clock runs. This is what tuning on the user's own machine
+// looks like.
+func LiveObjective(fsys vfs.FS, root string, reps int) Objective {
+	if reps < 1 {
+		reps = 1
+	}
+	return func(cfg core.Config) (float64, error) {
+		var sum time.Duration
+		for r := 0; r < reps; r++ {
+			res, err := core.Run(fsys, root, cfg)
+			if err != nil {
+				return 0, err
+			}
+			sum += res.Timings.Total
+		}
+		return (sum / time.Duration(reps)).Seconds(), nil
+	}
+}
+
+// Memoized wraps an objective with a cache keyed by implementation and
+// thread tuple, so repeated searches over overlapping spaces (e.g. a hill
+// climb refining an exhaustive scan) pay for each configuration once.
+func Memoized(obj Objective) Objective {
+	cache := map[string]float64{}
+	return func(cfg core.Config) (float64, error) {
+		k := key(cfg)
+		if c, ok := cache[k]; ok {
+			return c, nil
+		}
+		c, err := obj(cfg)
+		if err != nil {
+			return 0, err
+		}
+		cache[k] = c
+		return c, nil
+	}
+}

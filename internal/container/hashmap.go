@@ -1,0 +1,160 @@
+package container
+
+import "desksearch/internal/fnv"
+
+const (
+	mapInitialBuckets = 16
+	// The map grows when entries exceed buckets (load factor 1.0), matching
+	// the default max_load_factor of Boost's unordered_map.
+	mapMaxLoad = 1
+)
+
+// HashMap is a string-keyed hash map with separate chaining, the index
+// structure of the paper's generator (a stand-in for Boost unordered_map
+// keyed by FNV-1). V is the value type; the inverted index stores posting
+// lists.
+type HashMap[V any] struct {
+	buckets []*mapEntry[V]
+	n       int
+}
+
+type mapEntry[V any] struct {
+	key  string
+	hash uint32
+	val  V
+	next *mapEntry[V]
+}
+
+// NewHashMap returns a map sized for about capacity entries.
+func NewHashMap[V any](capacity int) *HashMap[V] {
+	buckets := mapInitialBuckets
+	for buckets*mapMaxLoad < capacity {
+		buckets *= 2
+	}
+	return &HashMap[V]{buckets: make([]*mapEntry[V], buckets)}
+}
+
+// Len returns the number of entries.
+func (m *HashMap[V]) Len() int { return m.n }
+
+// Get returns the value for key and whether it is present.
+func (m *HashMap[V]) Get(key string) (V, bool) {
+	h := fnv.Hash32(key)
+	for e := m.buckets[h&uint32(len(m.buckets)-1)]; e != nil; e = e.next {
+		if e.hash == h && e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put sets key to val, replacing any existing value.
+func (m *HashMap[V]) Put(key string, val V) {
+	h := fnv.Hash32(key)
+	b := h & uint32(len(m.buckets)-1)
+	for e := m.buckets[b]; e != nil; e = e.next {
+		if e.hash == h && e.key == key {
+			e.val = val
+			return
+		}
+	}
+	if m.n+1 > len(m.buckets)*mapMaxLoad {
+		m.grow()
+		b = h & uint32(len(m.buckets)-1)
+	}
+	m.buckets[b] = &mapEntry[V]{key: key, hash: h, val: val, next: m.buckets[b]}
+	m.n++
+}
+
+// GetOrPut returns the value for key, inserting mk() first if absent.
+// The hot path of index update: one hash, one probe, one optional insert.
+func (m *HashMap[V]) GetOrPut(key string, mk func() V) V {
+	h := fnv.Hash32(key)
+	b := h & uint32(len(m.buckets)-1)
+	for e := m.buckets[b]; e != nil; e = e.next {
+		if e.hash == h && e.key == key {
+			return e.val
+		}
+	}
+	if m.n+1 > len(m.buckets)*mapMaxLoad {
+		m.grow()
+		b = h & uint32(len(m.buckets)-1)
+	}
+	v := mk()
+	m.buckets[b] = &mapEntry[V]{key: key, hash: h, val: v, next: m.buckets[b]}
+	m.n++
+	return v
+}
+
+// Update replaces the value for key with f(old, present) and returns the new
+// value. It performs exactly one lookup.
+func (m *HashMap[V]) Update(key string, f func(old V, present bool) V) V {
+	h := fnv.Hash32(key)
+	b := h & uint32(len(m.buckets)-1)
+	for e := m.buckets[b]; e != nil; e = e.next {
+		if e.hash == h && e.key == key {
+			e.val = f(e.val, true)
+			return e.val
+		}
+	}
+	if m.n+1 > len(m.buckets)*mapMaxLoad {
+		m.grow()
+		b = h & uint32(len(m.buckets)-1)
+	}
+	var zero V
+	v := f(zero, false)
+	m.buckets[b] = &mapEntry[V]{key: key, hash: h, val: v, next: m.buckets[b]}
+	m.n++
+	return v
+}
+
+// Delete removes key and reports whether it was present.
+func (m *HashMap[V]) Delete(key string) bool {
+	h := fnv.Hash32(key)
+	b := h & uint32(len(m.buckets)-1)
+	for p := &m.buckets[b]; *p != nil; p = &(*p).next {
+		if e := *p; e.hash == h && e.key == key {
+			*p = e.next
+			m.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified. The map must not be modified during Range.
+func (m *HashMap[V]) Range(f func(key string, val V) bool) {
+	for _, e := range m.buckets {
+		for ; e != nil; e = e.next {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// Keys appends all keys to dst (unspecified order) and returns it.
+func (m *HashMap[V]) Keys(dst []string) []string {
+	m.Range(func(k string, _ V) bool {
+		dst = append(dst, k)
+		return true
+	})
+	return dst
+}
+
+func (m *HashMap[V]) grow() {
+	old := m.buckets
+	m.buckets = make([]*mapEntry[V], len(old)*2)
+	mask := uint32(len(m.buckets) - 1)
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := e.hash & mask
+			e.next = m.buckets[b]
+			m.buckets[b] = e
+			e = next
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap[int](0)
+	if m.Len() != 0 {
+		t.Fatalf("empty map Len = %d", m.Len())
+	}
+	if _, ok := m.Get("x"); ok {
+		t.Error("Get on empty map reported present")
+	}
+	m.Put("x", 1)
+	if v, ok := m.Get("x"); !ok || v != 1 {
+		t.Errorf("Get = %d,%v want 1,true", v, ok)
+	}
+	m.Put("x", 2)
+	if v, _ := m.Get("x"); v != 2 {
+		t.Errorf("Put did not replace: %d", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestHashMapGetOrPut(t *testing.T) {
+	m := NewHashMap[*[]int](0)
+	calls := 0
+	mk := func() *[]int { calls++; return new([]int) }
+	a := m.GetOrPut("k", mk)
+	b := m.GetOrPut("k", mk)
+	if a != b {
+		t.Error("GetOrPut returned different values for same key")
+	}
+	if calls != 1 {
+		t.Errorf("mk called %d times, want 1", calls)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestHashMapUpdate(t *testing.T) {
+	m := NewHashMap[int](0)
+	got := m.Update("n", func(old int, present bool) int {
+		if present {
+			t.Error("first Update saw present=true")
+		}
+		return 10
+	})
+	if got != 10 {
+		t.Errorf("Update returned %d, want 10", got)
+	}
+	got = m.Update("n", func(old int, present bool) int {
+		if !present || old != 10 {
+			t.Errorf("second Update old=%d present=%v", old, present)
+		}
+		return old + 5
+	})
+	if got != 15 {
+		t.Errorf("Update returned %d, want 15", got)
+	}
+	if v, _ := m.Get("n"); v != 15 {
+		t.Errorf("stored %d, want 15", v)
+	}
+}
+
+func TestHashMapDelete(t *testing.T) {
+	m := NewHashMap[int](0)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if !m.Delete("k50") {
+		t.Fatal("Delete of present key returned false")
+	}
+	if m.Delete("k50") {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if _, ok := m.Get("k50"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if m.Len() != 99 {
+		t.Fatalf("Len = %d, want 99", m.Len())
+	}
+	// Deleting the head of a chain must not orphan the rest; spot-check
+	// everything else survives.
+	for i := 0; i < 100; i++ {
+		if i == 50 {
+			continue
+		}
+		if v, ok := m.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("k%d lost after delete", i)
+		}
+	}
+}
+
+func TestHashMapGrowthPreservesEntries(t *testing.T) {
+	m := NewHashMap[int](0)
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		m.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i += 97 {
+		if v, ok := m.Get(fmt.Sprintf("key-%d", i)); !ok || v != i {
+			t.Fatalf("key-%d = %d,%v after growth", i, v, ok)
+		}
+	}
+}
+
+func TestHashMapRangeVisitsAllOnce(t *testing.T) {
+	m := NewHashMap[int](0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	seen := map[string]int{}
+	m.Range(func(k string, v int) bool {
+		seen[k]++
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range visited %d distinct keys, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("Range visited %q %d times", k, c)
+		}
+	}
+}
+
+func TestHashMapRangeEarlyStop(t *testing.T) {
+	m := NewHashMap[int](0)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	visits := 0
+	m.Range(func(string, int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("Range visited %d entries after stop at 5", visits)
+	}
+}
+
+func TestHashMapKeys(t *testing.T) {
+	m := NewHashMap[int](0)
+	for i := 0; i < 10; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	keys := m.Keys(nil)
+	sort.Strings(keys)
+	if len(keys) != 10 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"} {
+		if keys[i] != k {
+			t.Fatalf("Keys[%d] = %q, want %q", i, keys[i], k)
+		}
+	}
+}
+
+func TestHashMapEmptyStringKey(t *testing.T) {
+	m := NewHashMap[int](0)
+	m.Put("", 42)
+	if v, ok := m.Get(""); !ok || v != 42 {
+		t.Fatalf("empty key = %d,%v", v, ok)
+	}
+}
+
+// TestHashMapMatchesMapModel drives HashMap and a builtin map with the same
+// random operation sequence and checks full agreement.
+func TestHashMapMatchesMapModel(t *testing.T) {
+	if err := quick.Check(func(keys []string, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewHashMap[int](0)
+		model := map[string]int{}
+		for _, k := range keys {
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Int()
+				m.Put(k, v)
+				model[k] = v
+			case 1:
+				v, ok := m.Get(k)
+				mv, mok := model[k]
+				if ok != mok || v != mv {
+					return false
+				}
+			case 2:
+				if m.Delete(k) != (func() bool { _, ok := model[k]; return ok })() {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				if m.Len() != len(model) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		ok := true
+		m.Range(func(k string, v int) bool {
+			if mv, present := model[k]; !present || mv != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHashMapGetOrPut(b *testing.B) {
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("term-%d", i%512)
+	}
+	m := NewHashMap[int](512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GetOrPut(keys[i%len(keys)], func() int { return 0 })
+	}
+}

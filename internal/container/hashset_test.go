@@ -1,0 +1,183 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashSetBasics(t *testing.T) {
+	s := NewHashSet(0)
+	if s.Len() != 0 {
+		t.Fatalf("empty set Len = %d", s.Len())
+	}
+	if !s.Add("term") {
+		t.Error("first Add should report absent")
+	}
+	if s.Add("term") {
+		t.Error("second Add should report present")
+	}
+	if !s.Contains("term") {
+		t.Error("Contains after Add = false")
+	}
+	if s.Contains("other") {
+		t.Error("Contains of absent key = true")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestHashSetEmptyStringKey(t *testing.T) {
+	// "" must be storable: the probe loop must distinguish a used entry
+	// holding "" from an unused slot.
+	s := NewHashSet(0)
+	if s.Contains("") {
+		t.Fatal("empty set claims to contain \"\"")
+	}
+	if !s.Add("") {
+		t.Fatal("Add(\"\") reported present on empty set")
+	}
+	if !s.Contains("") || s.Len() != 1 {
+		t.Fatal("\"\" not stored correctly")
+	}
+}
+
+func TestHashSetGrowthPreservesMembers(t *testing.T) {
+	s := NewHashSet(0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Add(fmt.Sprintf("key-%d", i))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !s.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("lost key-%d after growth", i)
+		}
+	}
+	if s.Contains("key--1") || s.Contains("key-10000") {
+		t.Error("set contains keys that were never added")
+	}
+}
+
+func TestHashSetReset(t *testing.T) {
+	s := NewHashSet(4)
+	for i := 0; i < 100; i++ {
+		s.Add(fmt.Sprintf("k%d", i))
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if s.Contains(fmt.Sprintf("k%d", i)) {
+			t.Fatal("Reset did not clear membership")
+		}
+	}
+	// Reuse after reset must behave like a fresh set.
+	if !s.Add("again") || !s.Contains("again") || s.Len() != 1 {
+		t.Fatal("set unusable after Reset")
+	}
+}
+
+func TestHashSetKeys(t *testing.T) {
+	s := NewHashSet(0)
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	for k := range want {
+		s.Add(k)
+	}
+	got := s.Keys(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Keys returned %d elements, want %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Errorf("Keys returned unexpected %q", k)
+		}
+	}
+	// Keys must append to the destination.
+	prefixed := s.Keys([]string{"existing"})
+	if len(prefixed) != 4 || prefixed[0] != "existing" {
+		t.Error("Keys did not append to dst")
+	}
+}
+
+// TestHashSetMatchesMapModel drives the set and a map[string]bool with the
+// same operations and checks they always agree.
+func TestHashSetMatchesMapModel(t *testing.T) {
+	if err := quick.Check(func(ops []string, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewHashSet(0)
+		model := map[string]bool{}
+		for _, k := range ops {
+			switch rng.Intn(3) {
+			case 0:
+				added := s.Add(k)
+				if added == model[k] {
+					return false // Add must report the inverse of prior membership
+				}
+				model[k] = true
+			case 1:
+				if s.Contains(k) != model[k] {
+					return false
+				}
+			case 2:
+				if s.Len() != len(model) {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSetCollidingKeysViaLinearProbe(t *testing.T) {
+	// Insert many keys into a small set so chains of displaced entries form;
+	// all must remain findable.
+	s := NewHashSet(0)
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%d", i)
+		s.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !s.Contains(k) {
+			t.Fatalf("probe chain lost %q", k)
+		}
+	}
+}
+
+func BenchmarkHashSetAdd(b *testing.B) {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("term-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewHashSet(1024)
+		for _, k := range keys {
+			s.Add(k)
+		}
+	}
+}
+
+func BenchmarkHashSetAddDuplicates(b *testing.B) {
+	// The extractor's common case: mostly duplicate terms within one file.
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("term-%d", i%128)
+	}
+	s := NewHashSet(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, k := range keys {
+			s.Add(k)
+		}
+	}
+}

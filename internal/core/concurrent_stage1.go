@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"sync"
+	"time"
+
+	"desksearch/internal/extract"
+	"desksearch/internal/index"
+	"desksearch/internal/postings"
+	"desksearch/internal/vfs"
+)
+
+// RunConcurrentStage1 overlaps filename generation with term extraction:
+// a single walker goroutine feeds filenames through a shared queue that x
+// extractor goroutines consume, updating one shared locked index.
+//
+// This is the design the paper measured and rejected — "running the
+// filename generator concurrently with the term extractors proved to be
+// highly inefficient, because of a pair of lock operations for every
+// filename generated and consumed" — kept as the ablation behind
+// BenchmarkAblationConcurrentStage1. Run (with its up-front Stage 1) is
+// the production path.
+func RunConcurrentStage1(fsys vfs.FS, root string, extractors int, opts extract.Options) (*Result, error) {
+	if extractors < 1 {
+		extractors = 1
+	}
+	res := &Result{
+		Implementation: SharedIndex,
+		Config: Config{
+			Implementation: SharedIndex,
+			Extractors:     extractors,
+		},
+	}
+	start := time.Now()
+
+	table := index.NewFileTable()
+	shared := index.NewShared(1 << 12)
+
+	type job struct {
+		path string
+		id   postings.FileID
+	}
+	// An unbuffered-ish channel maximizes the handoff cost the paper
+	// observed; a small buffer keeps the walker from becoming the
+	// artificial bottleneck.
+	jobs := make(chan job, 1)
+
+	var (
+		skippedMu sync.Mutex
+		walkErr   error
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < extractors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := extract.New(fsys, opts)
+			for j := range jobs {
+				block, err := ex.File(j.path, j.id)
+				if err != nil {
+					skippedMu.Lock()
+					res.SkippedFiles = append(res.SkippedFiles, Skipped{Path: j.path, Err: err})
+					skippedMu.Unlock()
+					continue
+				}
+				shared.AddBlock(block.File, block.Terms)
+			}
+		}()
+	}
+
+	// The walker runs concurrently with extraction; file IDs are assigned
+	// in traversal order, and only the walker touches the file table.
+	var walkDir func(dir string) error
+	walkDir = func(dir string) error {
+		entries, err := fsys.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			child := path.Join(dir, e.Name)
+			if e.IsDir {
+				if err := walkDir(child); err != nil {
+					return err
+				}
+				continue
+			}
+			id := table.Add(child, e.Size)
+			jobs <- job{path: child, id: id}
+		}
+		return nil
+	}
+	walkErr = walkDir(root)
+	close(jobs)
+	wg.Wait()
+
+	if walkErr != nil {
+		return nil, fmt.Errorf("core: concurrent filename generation: %w", walkErr)
+	}
+	res.Files = table
+	res.Index = shared.Unwrap()
+	res.Timings.Total = time.Since(start)
+	res.Timings.ExtractUpdate = res.Timings.Total
+	return res, nil
+}

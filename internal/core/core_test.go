@@ -1,0 +1,359 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"desksearch/internal/corpus"
+	"desksearch/internal/distribute"
+	"desksearch/internal/extract"
+	"desksearch/internal/index"
+	"desksearch/internal/tokenize"
+	"desksearch/internal/vfs"
+)
+
+// testCorpus generates a small deterministic corpus once per test binary.
+var testCorpusFS *vfs.MemFS
+
+func corpusFS(t *testing.T) *vfs.MemFS {
+	t.Helper()
+	if testCorpusFS == nil {
+		fs := vfs.NewMemFS()
+		spec := corpus.SmallSpec()
+		spec.Files = 120
+		spec.TotalBytes = 1 << 20
+		spec.HTMLFraction, spec.WPFraction = 0, 0
+		if _, err := corpus.Generate(spec, fs); err != nil {
+			t.Fatal(err)
+		}
+		testCorpusFS = fs
+	}
+	return testCorpusFS
+}
+
+// reference builds the ground-truth index sequentially.
+func reference(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(corpusFS(t), ".", Config{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestImplementationString(t *testing.T) {
+	if Sequential.String() != "Sequential" ||
+		SharedIndex.String() != "Implementation 1" ||
+		ReplicatedJoin.String() != "Implementation 2" ||
+		ReplicatedSearch.String() != "Implementation 3" {
+		t.Error("Implementation names wrong")
+	}
+	if !strings.Contains(Implementation(9).String(), "9") {
+		t.Error("unknown implementation name")
+	}
+}
+
+func TestConfigTuple(t *testing.T) {
+	c := Config{Extractors: 3, Updaters: 1}
+	if c.Tuple() != "(3, 1, 0)" {
+		t.Errorf("Tuple = %q", c.Tuple())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Implementation: SharedIndex, Extractors: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{Implementation: Implementation(42)}).Validate(); err == nil {
+		t.Error("bad implementation accepted")
+	}
+	if err := (Config{Extractors: -1}).Validate(); err == nil {
+		t.Error("negative extractors accepted")
+	}
+	if err := (Config{Distribution: distribute.Strategy(9)}).Validate(); err == nil {
+		t.Error("bad distribution accepted")
+	}
+}
+
+func TestConfigReplicas(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Implementation: Sequential}, 1},
+		{Config{Implementation: SharedIndex, Extractors: 4, Updaters: 2}, 1},
+		{Config{Implementation: ReplicatedJoin, Extractors: 4, Updaters: 2}, 2},
+		{Config{Implementation: ReplicatedJoin, Extractors: 4}, 4},
+		{Config{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 0}, 3},
+	}
+	for _, tc := range tests {
+		if got := tc.cfg.Replicas(); got != tc.want {
+			t.Errorf("%s %s Replicas = %d, want %d", tc.cfg.Implementation, tc.cfg.Tuple(), got, tc.want)
+		}
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	seq := Default(Sequential, 8)
+	if seq.Extractors != 1 || seq.Updaters != 0 {
+		t.Errorf("sequential default = %s", seq.Tuple())
+	}
+	par := Default(SharedIndex, 8)
+	if par.Extractors != 7 || par.Updaters != 1 {
+		t.Errorf("parallel default = %s", par.Tuple())
+	}
+	tiny := Default(SharedIndex, 0)
+	if tiny.Extractors < 1 {
+		t.Errorf("degenerate cores gave %s", tiny.Tuple())
+	}
+}
+
+func TestSequentialRun(t *testing.T) {
+	res := reference(t)
+	if res.Index == nil {
+		t.Fatal("sequential run produced no index")
+	}
+	if res.Files.Len() != 120 {
+		t.Errorf("file table has %d entries", res.Files.Len())
+	}
+	if res.Index.NumTerms() == 0 || res.Index.NumPostings() == 0 {
+		t.Error("index is empty")
+	}
+	if len(res.SkippedFiles) != 0 {
+		t.Errorf("skipped %d files", len(res.SkippedFiles))
+	}
+	if res.Timings.Total <= 0 || res.Timings.FilenameGen <= 0 {
+		t.Errorf("timings not recorded: %+v", res.Timings)
+	}
+}
+
+// TestAllImplementationsAgree is the central correctness property: every
+// implementation, under many thread configurations, produces exactly the
+// reference index (after joining replicas where needed).
+func TestAllImplementationsAgree(t *testing.T) {
+	want := reference(t).Index
+	configs := []Config{
+		{Implementation: SharedIndex, Extractors: 1},
+		{Implementation: SharedIndex, Extractors: 4},
+		{Implementation: SharedIndex, Extractors: 3, Updaters: 1},
+		{Implementation: SharedIndex, Extractors: 3, Updaters: 2},
+		{Implementation: SharedIndex, Extractors: 8, Updaters: 4, Buffer: 2},
+		{Implementation: ReplicatedJoin, Extractors: 3, Updaters: 0},
+		{Implementation: ReplicatedJoin, Extractors: 3, Updaters: 5, Joiners: 1},
+		{Implementation: ReplicatedJoin, Extractors: 6, Updaters: 2, Joiners: 3},
+		{Implementation: ReplicatedJoin, Extractors: 2, Updaters: 4, Joiners: 2},
+		{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 2},
+		{Implementation: ReplicatedSearch, Extractors: 4},
+		{Implementation: SharedIndex, Extractors: 4, Distribution: distribute.BySize},
+		{Implementation: SharedIndex, Extractors: 4, Distribution: distribute.Chunked},
+		{Implementation: ReplicatedJoin, Extractors: 4, WorkStealing: true},
+		{Implementation: SharedIndex, Extractors: 4, WorkStealing: true},
+	}
+	for _, cfg := range configs {
+		res, err := Run(corpusFS(t), ".", cfg)
+		if err != nil {
+			t.Fatalf("%v %s: %v", cfg.Implementation, cfg.Tuple(), err)
+		}
+		got := res.Index
+		if got == nil {
+			// ReplicatedSearch: join a copy for comparison.
+			got = index.JoinAll(res.Replicas)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v %s: index differs from sequential reference",
+				cfg.Implementation, cfg.Tuple())
+		}
+		if len(res.SkippedFiles) != 0 {
+			t.Errorf("%v %s: skipped %d files", cfg.Implementation, cfg.Tuple(), len(res.SkippedFiles))
+		}
+	}
+}
+
+// TestRandomConfigsAgreeWithReference drives the pipeline with randomized
+// configurations (implementation, thread counts, buffer size, distribution
+// strategy, stealing) and checks every run produces the reference index.
+func TestRandomConfigsAgreeWithReference(t *testing.T) {
+	want := reference(t).Index
+	if err := quick.Check(func(implRaw, x, y, z, buf uint8, distRaw uint8, stealing bool) bool {
+		impls := []Implementation{SharedIndex, ReplicatedJoin, ReplicatedSearch}
+		dists := []distribute.Strategy{distribute.RoundRobin, distribute.BySize, distribute.Chunked}
+		cfg := Config{
+			Implementation: impls[int(implRaw)%len(impls)],
+			Extractors:     int(x%6) + 1,
+			Updaters:       int(y % 5),
+			Joiners:        int(z % 4),
+			Buffer:         int(buf % 16),
+			Distribution:   dists[int(distRaw)%len(dists)],
+			WorkStealing:   stealing,
+		}
+		res, err := Run(corpusFS(t), ".", cfg)
+		if err != nil {
+			return false
+		}
+		got := res.Index
+		if got == nil {
+			got = index.JoinAll(res.Replicas)
+		}
+		return got.Equal(want) && len(res.SkippedFiles) == 0
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicatedSearchKeepsReplicas(t *testing.T) {
+	res, err := Run(corpusFS(t), ".", Config{Implementation: ReplicatedSearch, Extractors: 4, Updaters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != nil {
+		t.Error("ReplicatedSearch should not join")
+	}
+	if len(res.Replicas) != 3 {
+		t.Errorf("got %d replicas, want 3", len(res.Replicas))
+	}
+	if len(res.Indexes()) != 3 {
+		t.Errorf("Indexes() = %d", len(res.Indexes()))
+	}
+	if res.Stats().Postings == 0 {
+		t.Error("replicas empty")
+	}
+}
+
+func TestReplicatedSearchSingleReplicaIsIndex(t *testing.T) {
+	res, err := Run(corpusFS(t), ".", Config{Implementation: ReplicatedSearch, Extractors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index == nil || len(res.Replicas) != 0 {
+		t.Error("single-replica run should surface Index directly")
+	}
+}
+
+func TestReplicatedJoinTimesJoinPhase(t *testing.T) {
+	res, err := Run(corpusFS(t), ".", Config{Implementation: ReplicatedJoin, Extractors: 4, Updaters: 4, Joiners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.Join <= 0 {
+		t.Errorf("join phase not timed: %+v", res.Timings)
+	}
+	if res.Index == nil {
+		t.Error("join produced no index")
+	}
+}
+
+func TestRunMissingRoot(t *testing.T) {
+	if _, err := Run(corpusFS(t), "missing-root", Config{}); err == nil {
+		t.Error("missing root not reported")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if _, err := Run(corpusFS(t), ".", Config{Implementation: Implementation(77)}); err == nil {
+		t.Error("invalid config not rejected")
+	}
+}
+
+func TestSkippedFilesAreReportedNotFatal(t *testing.T) {
+	// A file that vanishes between walk and read: emulate with an FS
+	// wrapper that fails reads for one path.
+	fs := failingFS{FS: corpusFS(t), failPath: "large-0.txt"}
+	res, err := Run(fs, ".", Config{Implementation: SharedIndex, Extractors: 4, Updaters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkippedFiles) != 1 {
+		t.Fatalf("skipped = %+v", res.SkippedFiles)
+	}
+	if res.SkippedFiles[0].Path != "large-0.txt" || res.SkippedFiles[0].Err == nil {
+		t.Errorf("skip record = %+v", res.SkippedFiles[0])
+	}
+	// The rest of the corpus must still be indexed.
+	if res.Index.NumPostings() == 0 {
+		t.Error("index empty after one skipped file")
+	}
+}
+
+func TestSkippedFilesSequential(t *testing.T) {
+	fs := failingFS{FS: corpusFS(t), failPath: "large-1.txt"}
+	res, err := Run(fs, ".", Config{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkippedFiles) != 1 {
+		t.Errorf("skipped = %+v", res.SkippedFiles)
+	}
+}
+
+type failingFS struct {
+	vfs.FS
+	failPath string
+}
+
+func (f failingFS) ReadFile(name string) ([]byte, error) {
+	if name == f.failPath {
+		return nil, errInjected
+	}
+	return f.FS.ReadFile(name)
+}
+
+var errInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string { return "injected read failure" }
+
+func TestMeasureStages(t *testing.T) {
+	st, err := MeasureStages(corpusFS(t), ".", extract.Options{Tokenize: tokenize.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilenameGen <= 0 || st.ReadFiles <= 0 || st.ReadExtract <= 0 || st.IndexUpdate <= 0 {
+		t.Errorf("stage times not positive: %+v", st)
+	}
+	// Reading plus extraction cannot be cheaper than... in wall-clock terms
+	// this can jitter; assert only the trivially true ordering on a warm
+	// in-memory FS where extraction adds real work.
+	if st.ReadExtract < st.ReadFiles/4 {
+		t.Errorf("ReadExtract (%v) implausibly small vs ReadFiles (%v)", st.ReadExtract, st.ReadFiles)
+	}
+}
+
+func TestRunConcurrentStage1MatchesReference(t *testing.T) {
+	want := reference(t).Index
+	res, err := RunConcurrentStage1(corpusFS(t), ".", 4, extract.Options{Tokenize: tokenize.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Index.Equal(want) {
+		t.Error("concurrent stage-1 index differs from reference")
+	}
+	if res.Files.Len() != 120 {
+		t.Errorf("file table has %d entries", res.Files.Len())
+	}
+}
+
+func TestRunConcurrentStage1MissingRoot(t *testing.T) {
+	if _, err := RunConcurrentStage1(corpusFS(t), "gone", 2, extract.Options{}); err == nil {
+		t.Error("missing root not reported")
+	}
+}
+
+func TestRunConcurrentStage1SkipsUnreadable(t *testing.T) {
+	fs := failingFS{FS: corpusFS(t), failPath: "large-0.txt"}
+	res, err := RunConcurrentStage1(fs, ".", 3, extract.Options{Tokenize: tokenize.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkippedFiles) != 1 {
+		t.Errorf("skipped = %+v", res.SkippedFiles)
+	}
+}
+
+func TestMeasureStagesMissingRoot(t *testing.T) {
+	if _, err := MeasureStages(corpusFS(t), "gone", extract.Options{}); err == nil {
+		t.Error("missing root not reported")
+	}
+}

@@ -1,0 +1,184 @@
+// Package distribute implements the work-distribution strategies the paper
+// considers for handing filenames to term extractors: round-robin (the
+// measured winner), size-aware assignment, a shared locked queue, and work
+// stealing.
+//
+// Round-robin pre-fills k private vectors so extractors run with no
+// interference or synchronization at all; the shared queue pays "a pair of
+// lock operations for every filename generated and consumed", which the
+// paper measured to be highly inefficient. Both are here so the ablation
+// benchmark can show the difference.
+package distribute
+
+import (
+	"sort"
+	"sync"
+
+	"desksearch/internal/walk"
+)
+
+// Strategy names a work-distribution algorithm.
+type Strategy int
+
+const (
+	// RoundRobin deals files to k private vectors in rotation — the
+	// paper's fastest approach and the pipeline default.
+	RoundRobin Strategy = iota
+	// BySize assigns each file to the currently least-loaded worker
+	// (longest-processing-time-first bin packing on byte sizes) — the
+	// "distribution that took file sizes into account" the paper tried.
+	BySize
+	// Chunked splits the file list into k contiguous ranges.
+	Chunked
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case BySize:
+		return "by-size"
+	case Chunked:
+		return "chunked"
+	default:
+		return "unknown"
+	}
+}
+
+// Partition splits files into k private vectors according to the strategy.
+// Every input file appears in exactly one vector. k must be ≥ 1; fewer
+// files than k leaves some vectors empty.
+func Partition(files []walk.FileRef, k int, strategy Strategy) [][]walk.FileRef {
+	if k < 1 {
+		k = 1
+	}
+	parts := make([][]walk.FileRef, k)
+	switch strategy {
+	case BySize:
+		// LPT: sort descending by size, then place each file on the
+		// least-loaded worker.
+		order := make([]int, len(files))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return files[order[a]].Size > files[order[b]].Size
+		})
+		loads := make([]int64, k)
+		for _, idx := range order {
+			w := 0
+			for j := 1; j < k; j++ {
+				if loads[j] < loads[w] {
+					w = j
+				}
+			}
+			parts[w] = append(parts[w], files[idx])
+			loads[w] += files[idx].Size
+		}
+	case Chunked:
+		per := (len(files) + k - 1) / k
+		for w := 0; w < k; w++ {
+			lo := w * per
+			if lo >= len(files) {
+				break
+			}
+			hi := lo + per
+			if hi > len(files) {
+				hi = len(files)
+			}
+			parts[w] = append(parts[w], files[lo:hi]...)
+		}
+	default: // RoundRobin
+		for i, f := range files {
+			w := i % k
+			parts[w] = append(parts[w], f)
+		}
+	}
+	return parts
+}
+
+// Imbalance returns max/mean of per-worker byte loads, a measure of how
+// uneven a partition is (1.0 is perfect). Empty partitions return 0.
+func Imbalance(parts [][]walk.FileRef) float64 {
+	var total int64
+	var maxLoad int64
+	n := 0
+	for _, p := range parts {
+		var load int64
+		for _, f := range p {
+			load += f.Size
+		}
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+		n++
+	}
+	if n == 0 || total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(n)
+	return float64(maxLoad) / mean
+}
+
+// Queue is the shared locked work queue — the strategy the paper measured
+// and rejected for Stage 1/Stage 2 coupling ("a pair of lock operations for
+// every filename generated and consumed"). It remains useful as an ablation
+// and for dynamic workloads where file costs are unpredictable.
+type Queue struct {
+	mu     sync.Mutex
+	items  []walk.FileRef
+	closed bool
+	cond   *sync.Cond
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a file to the queue. Push after Close panics.
+func (q *Queue) Push(f walk.FileRef) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("distribute: Push on closed Queue")
+	}
+	q.items = append(q.items, f)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Close marks the end of input; blocked and future Pops drain the remaining
+// items and then report done.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Pop removes the next file. ok is false when the queue is closed and empty.
+func (q *Queue) Pop() (f walk.FileRef, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return walk.FileRef{}, false
+	}
+	f = q.items[0]
+	q.items = q.items[1:]
+	return f, true
+}
+
+// Len returns the current queue length.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

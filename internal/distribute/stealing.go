@@ -1,0 +1,113 @@
+package distribute
+
+import (
+	"sync"
+
+	"desksearch/internal/walk"
+)
+
+// StealingPool implements work stealing, the fourth option the paper lists
+// for distributing filenames: each worker owns a deque seeded with its
+// round-robin share, pops from its own tail, and steals from the head of
+// the busiest victim when empty.
+//
+// For the paper's workload (uniform scan cost per byte, sizes known up
+// front) stealing buys little over round-robin, but it degrades gracefully
+// when per-file costs are unpredictable — e.g. when format extraction makes
+// some files far slower than their size suggests.
+type StealingPool struct {
+	deques []*deque
+}
+
+// NewStealingPool seeds k deques with a round-robin partition of files.
+func NewStealingPool(files []walk.FileRef, k int) *StealingPool {
+	if k < 1 {
+		k = 1
+	}
+	p := &StealingPool{deques: make([]*deque, k)}
+	parts := Partition(files, k, RoundRobin)
+	for i := range p.deques {
+		p.deques[i] = &deque{items: parts[i]}
+	}
+	return p
+}
+
+// Workers returns the number of deques.
+func (p *StealingPool) Workers() int { return len(p.deques) }
+
+// Next returns the next file for worker w: its own deque's tail, or a
+// steal from the head of the longest other deque. ok is false when no work
+// remains anywhere.
+func (p *StealingPool) Next(w int) (walk.FileRef, bool) {
+	if f, ok := p.deques[w].popTail(); ok {
+		return f, true
+	}
+	// Steal from the victim with the most remaining work; re-scan until
+	// every deque is observed empty.
+	for {
+		victim, best := -1, 0
+		for i, d := range p.deques {
+			if i == w {
+				continue
+			}
+			if n := d.len(); n > best {
+				best = n
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return walk.FileRef{}, false
+		}
+		if f, ok := p.deques[victim].popHead(); ok {
+			return f, true
+		}
+		// Lost the race for the victim's last item; rescan.
+	}
+}
+
+// Remaining returns the total number of undistributed files (for tests and
+// progress reporting; the value is immediately stale under concurrency).
+func (p *StealingPool) Remaining() int {
+	total := 0
+	for _, d := range p.deques {
+		total += d.len()
+	}
+	return total
+}
+
+// deque is a mutex-guarded double-ended queue. A lock-free Chase–Lev deque
+// would cut constant factors, but the pipeline takes one deque operation
+// per file scanned (milliseconds of work), so contention here is noise —
+// measured by BenchmarkAblationDistribution.
+type deque struct {
+	mu    sync.Mutex
+	items []walk.FileRef
+}
+
+func (d *deque) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+func (d *deque) popTail() (walk.FileRef, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return walk.FileRef{}, false
+	}
+	f := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return f, true
+}
+
+func (d *deque) popHead() (walk.FileRef, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return walk.FileRef{}, false
+	}
+	f := d.items[0]
+	d.items = d.items[1:]
+	return f, true
+}

@@ -1,0 +1,122 @@
+package docfmt
+
+import "bytes"
+
+// htmlExtractor strips tags, comments, script/style bodies, and decodes the
+// handful of entities that matter for term extraction. It is a permissive
+// single-pass scanner, not a validating parser: desktop files are often
+// malformed and indexing must never fail on them.
+type htmlExtractor struct{}
+
+var htmlEntities = map[string]byte{
+	"amp":  '&',
+	"lt":   '<',
+	"gt":   '>',
+	"quot": '"',
+	"apos": '\'',
+	"nbsp": ' ',
+}
+
+func (htmlExtractor) Extract(data []byte) []byte {
+	out := make([]byte, 0, len(data)/2)
+	i, n := 0, len(data)
+	for i < n {
+		c := data[i]
+		switch {
+		case c == '<':
+			if hasFoldPrefix(data[i:], "<!--") {
+				end := bytes.Index(data[i+4:], []byte("-->"))
+				if end < 0 {
+					return out // unterminated comment swallows the rest
+				}
+				i += 4 + end + 3
+				// Comments separate words, like tags do.
+				out = append(out, ' ')
+				continue
+			}
+			if skip, ok := skipRawElement(data, i, "script"); ok {
+				i = skip
+				out = append(out, ' ')
+				continue
+			}
+			if skip, ok := skipRawElement(data, i, "style"); ok {
+				i = skip
+				out = append(out, ' ')
+				continue
+			}
+			end := bytes.IndexByte(data[i:], '>')
+			if end < 0 {
+				return out // unterminated tag
+			}
+			i += end + 1
+			// Tags separate words: "<b>a</b>b" must not merge a and b.
+			out = append(out, ' ')
+		case c == '&':
+			semi := bytes.IndexByte(data[i:], ';')
+			if semi > 1 && semi <= 8 {
+				name := string(data[i+1 : i+semi])
+				if b, ok := htmlEntities[name]; ok {
+					out = append(out, b)
+					i += semi + 1
+					continue
+				}
+			}
+			out = append(out, c)
+			i++
+		default:
+			out = append(out, c)
+			i++
+		}
+	}
+	return out
+}
+
+// skipRawElement, when data[i:] opens the named raw-text element, returns
+// the offset just past its closing tag and true.
+func skipRawElement(data []byte, i int, name string) (int, bool) {
+	open := "<" + name
+	if !hasFoldPrefix(data[i:], open) {
+		return 0, false
+	}
+	after := i + len(open)
+	if after < len(data) && data[after] != '>' && data[after] != ' ' && data[after] != '\t' && data[after] != '\n' {
+		return 0, false // e.g. <scripted>
+	}
+	closeTag := "</" + name
+	rest := data[after:]
+	for off := 0; ; {
+		j := bytes.IndexByte(rest[off:], '<')
+		if j < 0 {
+			return len(data), true // unterminated raw element
+		}
+		off += j
+		if hasFoldPrefix(rest[off:], closeTag) {
+			gt := bytes.IndexByte(rest[off:], '>')
+			if gt < 0 {
+				return len(data), true
+			}
+			return after + off + gt + 1, true
+		}
+		off++
+	}
+}
+
+// hasFoldPrefix reports whether b begins with prefix, ASCII case-insensitively.
+func hasFoldPrefix(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c, p := b[i], prefix[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if p >= 'A' && p <= 'Z' {
+			p += 'a' - 'A'
+		}
+		if c != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package docfmt
+
+// wpExtractor handles a simple word-processor-like markup:
+//
+//   - lines starting with '.' are formatting directives (".wp 1.0",
+//     ".ti Title", ".pp", ".ft Helvetica") — the directive name is dropped
+//     but its textual argument is kept, since titles and headings are
+//     exactly what desktop search should index;
+//   - inline control sequences "\x{...}" apply character formatting; the
+//     braces and the one-letter code are dropped, the content kept;
+//   - everything else is body text.
+//
+// internal/corpus emits this format for a slice of the synthetic benchmark,
+// emulating the paper's pre-extraction word-processor originals.
+type wpExtractor struct{}
+
+func (wpExtractor) Extract(data []byte) []byte {
+	out := make([]byte, 0, len(data))
+	i, n := 0, len(data)
+	atLineStart := true
+	for i < n {
+		c := data[i]
+		switch {
+		case atLineStart && c == '.':
+			// Skip the directive name (up to first space or EOL); keep the
+			// rest of the line as text.
+			j := i
+			for j < n && data[j] != ' ' && data[j] != '\n' {
+				j++
+			}
+			if j < n && data[j] == ' ' {
+				j++ // keep argument text after the space
+			}
+			i = j
+			atLineStart = false
+		case c == '\\' && i+2 < n && data[i+2] == '{':
+			// Inline control "\b{bold text}": drop "\b{", keep content; the
+			// matching '}' is dropped when reached.
+			i += 3
+			atLineStart = false
+		case c == '}':
+			out = append(out, ' ')
+			i++
+			atLineStart = false
+		case c == '\n':
+			out = append(out, c)
+			i++
+			atLineStart = true
+		default:
+			out = append(out, c)
+			i++
+			atLineStart = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+	"desksearch/internal/simmodel"
+	"desksearch/internal/stats"
+)
+
+// CurvePoint is one (thread count, speed-up) sample of a scaling curve.
+type CurvePoint struct {
+	// Extractors is x; the updater count scales alongside (y = max(1, x/2),
+	// capped at 4, matching the region the paper's best tuples live in).
+	Extractors int
+	// Exec is the modeled execution time in seconds.
+	Exec float64
+	// Speedup is against the platform's sequential baseline.
+	Speedup float64
+}
+
+// Curve is a speed-up-versus-threads series for one implementation on one
+// platform. The paper reports only the best point of each such curve
+// (Tables 2–4); the full series makes the *why* visible — where
+// Implementation 1 flattens against the index lock, where the 8-core disk
+// floor bites, where adding extractors stops paying.
+type Curve struct {
+	Platform       platform.Profile
+	Implementation core.Implementation
+	Points         []CurvePoint
+}
+
+// RunScalingCurve sweeps x from 1 to maxX for the implementation on the
+// platform. maxX ≤ 0 selects twice the platform's cores (capped at 16).
+func RunScalingCurve(p platform.Profile, cs corpus.Stats, im core.Implementation, maxX int, o SweepOptions) (Curve, error) {
+	o = o.normalized()
+	if maxX <= 0 {
+		maxX = 2 * p.Cores
+		if maxX > 16 {
+			maxX = 16
+		}
+	}
+	simOpt := simmodel.Options{Batch: o.Batch, Jitter: o.Jitter, Seed: o.Seed}
+	seq, err := simmodel.SequentialBaseline(p, cs, simOpt)
+	if err != nil {
+		return Curve{}, err
+	}
+	curve := Curve{Platform: p, Implementation: im}
+	for x := 1; x <= maxX; x++ {
+		y := x / 2
+		if y < 1 {
+			y = 1
+		}
+		if y > 4 {
+			y = 4
+		}
+		if im != core.SharedIndex && y < 2 {
+			y = 2 // replication needs two replicas
+		}
+		z := 0
+		if im == core.ReplicatedJoin {
+			z = 1
+		}
+		cfg := core.Config{Implementation: im, Extractors: x, Updaters: y, Joiners: z}
+		var sum float64
+		for r := 0; r < o.Reps; r++ {
+			so := simOpt
+			so.Seed += int64(r)
+			res, err := simmodel.Simulate(p, cs, cfg, so)
+			if err != nil {
+				return Curve{}, err
+			}
+			sum += res.Exec
+		}
+		exec := sum / float64(o.Reps)
+		curve.Points = append(curve.Points, CurvePoint{
+			Extractors: x,
+			Exec:       exec,
+			Speedup:    stats.Speedup(seq, exec),
+		})
+	}
+	return curve, nil
+}
+
+// Best returns the point with the highest speed-up.
+func (c Curve) Best() CurvePoint {
+	var best CurvePoint
+	for _, pt := range c.Points {
+		if pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// Render draws the curve as an ASCII chart, one row per x.
+func (c Curve) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s: speed-up vs term-extraction threads\n",
+		c.Platform.Name, c.Implementation)
+	maxSpeedup := 0.0
+	for _, pt := range c.Points {
+		if pt.Speedup > maxSpeedup {
+			maxSpeedup = pt.Speedup
+		}
+	}
+	if maxSpeedup <= 0 {
+		maxSpeedup = 1
+	}
+	for _, pt := range c.Points {
+		bars := int(pt.Speedup / maxSpeedup * 40)
+		fmt.Fprintf(&sb, "x=%2d  %6.1fs  %4.2fx  %s\n",
+			pt.Extractors, pt.Exec, pt.Speedup, strings.Repeat("#", bars))
+	}
+	return sb.String()
+}
+
+// RunAllCurves renders the scaling curves of all three implementations on
+// every platform (cmd/experiments -curves).
+func RunAllCurves(cs corpus.Stats, o SweepOptions) (string, error) {
+	var sb strings.Builder
+	for _, p := range platform.All() {
+		for _, im := range []core.Implementation{core.SharedIndex, core.ReplicatedJoin, core.ReplicatedSearch} {
+			c, err := RunScalingCurve(p, cs, im, 0, o)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(c.Render())
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String(), nil
+}

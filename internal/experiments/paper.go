@@ -1,0 +1,78 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (sequential stage times) and Tables 2–4 (best configurations, execution
+// times, and speed-ups of the three implementations on the three
+// platforms), rendered side by side with the paper's published numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"desksearch/internal/core"
+	"desksearch/internal/platform"
+)
+
+// PaperStageRow is one platform's row of the paper's Table 1 (seconds).
+type PaperStageRow struct {
+	Platform                            string
+	Filename, Read, ReadExtract, Insert float64
+}
+
+// PaperTable1 transcribes the paper's Table 1: "Execution times for
+// sequential index generation".
+var PaperTable1 = []PaperStageRow{
+	{Platform: "4-core platform", Filename: 5.0, Read: 77.0, ReadExtract: 88.0, Insert: 22.0},
+	{Platform: "8-core platform", Filename: 4.0, Read: 47.0, ReadExtract: 61.0, Insert: 29.0},
+	{Platform: "32-core platform", Filename: 5.0, Read: 73.0, ReadExtract: 80.0, Insert: 28.0},
+}
+
+// PaperCell is one implementation's row in the paper's Tables 2–4.
+type PaperCell struct {
+	// Tuple is the best configuration in the paper's (x, y, z) notation.
+	Tuple string
+	// Exec is the execution time in seconds.
+	Exec float64
+	// Speedup is relative to the sequential baseline.
+	Speedup float64
+	// Variance is the paper's "variance" column: the relative difference
+	// of this implementation's speed-up from Implementation 1's, as
+	// printed (the paper's Table 3 Impl 3 entry is relative to Impl 2;
+	// see EXPERIMENTS.md).
+	Variance float64
+}
+
+// PaperSequential is the paper's sequential execution time per table.
+var PaperSequential = map[int]float64{2: 220.0, 3: 105.0, 4: 90.0}
+
+// PaperBest transcribes the paper's Tables 2–4.
+var PaperBest = map[int]map[core.Implementation]PaperCell{
+	2: {
+		core.SharedIndex:      {Tuple: "(3, 1, 0)", Exec: 46.7, Speedup: 4.71, Variance: 0.0},
+		core.ReplicatedJoin:   {Tuple: "(3, 5, 1)", Exec: 46.9, Speedup: 4.70, Variance: -0.0021},
+		core.ReplicatedSearch: {Tuple: "(3, 2, 0)", Exec: 46.4, Speedup: 4.74, Variance: 0.0085},
+	},
+	3: {
+		core.SharedIndex:      {Tuple: "(3, 2, 0)", Exec: 59.5, Speedup: 1.76, Variance: 0.0},
+		core.ReplicatedJoin:   {Tuple: "(6, 2, 1)", Exec: 57.7, Speedup: 1.82, Variance: 0.034},
+		core.ReplicatedSearch: {Tuple: "(6, 2, 0)", Exec: 49.5, Speedup: 2.12, Variance: 0.165},
+	},
+	4: {
+		core.SharedIndex:      {Tuple: "(8, 4, 0)", Exec: 45.9, Speedup: 1.96, Variance: 0.0},
+		core.ReplicatedJoin:   {Tuple: "(8, 4, 1)", Exec: 36.4, Speedup: 2.47, Variance: 0.26},
+		core.ReplicatedSearch: {Tuple: "(9, 4, 0)", Exec: 25.7, Speedup: 3.50, Variance: 0.786},
+	},
+}
+
+// TableNumber maps a platform to its table in the paper: the 4-core
+// machine is Table 2, the 8-core Table 3, the 32-core Table 4.
+func TableNumber(p platform.Profile) (int, error) {
+	switch p.Cores {
+	case 4:
+		return 2, nil
+	case 8:
+		return 3, nil
+	case 32:
+		return 4, nil
+	default:
+		return 0, fmt.Errorf("experiments: no paper table for a %d-core platform", p.Cores)
+	}
+}

@@ -1,0 +1,189 @@
+package extract
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"desksearch/internal/postings"
+	"desksearch/internal/tokenize"
+	"desksearch/internal/vfs"
+)
+
+func testFS(t *testing.T) *vfs.MemFS {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	files := map[string]string{
+		"plain.txt": "the cat and the dog and the cat",
+		"page.html": "<html><body><p>web Words</p><script>hidden()</script></body></html>",
+		"memo.wp":   ".wp 1.0\n.ti Memo Title\nbody words body\n",
+		"empty.txt": "",
+	}
+	for name, content := range files {
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func sorted(ss []string) []string {
+	out := append([]string{}, ss...)
+	sort.Strings(out)
+	return out
+}
+
+func TestFileDeduplicates(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	block, err := e.File("plain.txt", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.File != 7 {
+		t.Errorf("File = %d", block.File)
+	}
+	want := []string{"and", "cat", "dog", "the"}
+	if got := sorted(block.Terms); len(got) != 4 || got[0] != "and" || got[3] != "the" {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestFileEmpty(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	block, err := e.File("empty.txt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Terms) != 0 {
+		t.Errorf("empty file produced terms %v", block.Terms)
+	}
+}
+
+func TestFileReuseDoesNotLeakTerms(t *testing.T) {
+	// The internal hash set is reused; terms from file A must not appear in
+	// file B's block.
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	if _, err := e.File("plain.txt", 0); err != nil {
+		t.Fatal(err)
+	}
+	block, err := e.File("memo.wp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range block.Terms {
+		if term == "cat" || term == "dog" {
+			t.Errorf("term %q leaked from previous file", term)
+		}
+	}
+}
+
+func TestFileWithFormats(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default, Formats: true})
+	block, err := e.File("page.html", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := map[string]bool{}
+	for _, term := range block.Terms {
+		terms[term] = true
+	}
+	if !terms["web"] || !terms["words"] {
+		t.Errorf("content terms missing: %v", block.Terms)
+	}
+	if terms["hidden"] || terms["script"] {
+		t.Errorf("markup leaked into terms: %v", block.Terms)
+	}
+}
+
+func TestFileWithoutFormatsIndexesMarkup(t *testing.T) {
+	// Formats off (the paper's setup): markup is scanned literally.
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	block, err := e.File("page.html", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, term := range block.Terms {
+		if term == "script" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("markup should be indexed when Formats is off")
+	}
+}
+
+func TestFileMissing(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	if _, err := e.File("nope.txt", 0); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestScanOnlyCountsOccurrences(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	n, err := e.ScanOnly("plain.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("ScanOnly = %d, want 8", n)
+	}
+	if _, err := e.ScanOnly("nope"); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestReadOnlyCountsBytes(t *testing.T) {
+	e := New(testFS(t), Options{})
+	n, err := e.ReadOnly("plain.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("the cat and the dog and the cat")) {
+		t.Errorf("ReadOnly = %d", n)
+	}
+	if _, err := e.ReadOnly("nope"); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestOccurrencesKeepsDuplicates(t *testing.T) {
+	e := New(testFS(t), Options{Tokenize: tokenize.Default})
+	var got []string
+	err := e.Occurrences("plain.txt", 3, func(term string, id postings.FileID) {
+		if id != 3 {
+			t.Errorf("id = %d", id)
+		}
+		got = append(got, term)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Errorf("got %d occurrences, want 8: %v", len(got), got)
+	}
+	if _, err := e.File("plain.txt", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Occurrences("nope", 0, func(string, postings.FileID) {}); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func BenchmarkFile(b *testing.B) {
+	fs := vfs.NewMemFS()
+	body := make([]byte, 0, 64<<10)
+	for len(body) < 60<<10 {
+		body = append(body, "lorem ipsum dolor sit amet consectetur adipiscing elit sed do "...)
+	}
+	fs.WriteFile("doc.txt", body)
+	e := New(fs, Options{Tokenize: tokenize.Default})
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.File("doc.txt", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package fnv implements the Fowler–Noll–Vo hash functions FNV-1 and
+// FNV-1a in 32-bit and 64-bit widths.
+//
+// The paper's index generator hashes terms with FNV1 for both the inverted
+// index (a hash map) and the per-file duplicate-elimination set (a hash set);
+// this package is the shared hashing substrate for internal/container.
+// Unlike the standard library's hash/fnv, it exposes allocation-free
+// one-shot string and byte-slice forms, which is what the hot indexing path
+// needs.
+package fnv
+
+import "hash"
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash32 returns the FNV-1 32-bit hash of s.
+//
+// FNV-1 multiplies before XORing each byte; it is the variant named by the
+// paper ("FNV1 hash function [3]").
+func Hash32(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h *= prime32
+		h ^= uint32(s[i])
+	}
+	return h
+}
+
+// Hash32Bytes is Hash32 for a byte slice, avoiding a string conversion.
+func Hash32Bytes(b []byte) uint32 {
+	h := uint32(offset32)
+	for _, c := range b {
+		h *= prime32
+		h ^= uint32(c)
+	}
+	return h
+}
+
+// Hash32a returns the FNV-1a 32-bit hash of s (XOR before multiply).
+func Hash32a(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Hash64 returns the FNV-1 64-bit hash of s.
+func Hash64(s string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h *= prime64
+		h ^= uint64(s[i])
+	}
+	return h
+}
+
+// Hash64Bytes is Hash64 for a byte slice.
+func Hash64Bytes(b []byte) uint64 {
+	h := uint64(offset64)
+	for _, c := range b {
+		h *= prime64
+		h ^= uint64(c)
+	}
+	return h
+}
+
+// Hash64a returns the FNV-1a 64-bit hash of s.
+func Hash64a(s string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// digest32 is a streaming FNV-1 32-bit hash implementing hash.Hash32.
+type digest32 struct {
+	sum uint32
+}
+
+// New32 returns a streaming FNV-1 32-bit hash.Hash32.
+func New32() hash.Hash32 { return &digest32{sum: offset32} }
+
+func (d *digest32) Write(p []byte) (int, error) {
+	h := d.sum
+	for _, c := range p {
+		h *= prime32
+		h ^= uint32(c)
+	}
+	d.sum = h
+	return len(p), nil
+}
+
+func (d *digest32) Sum(b []byte) []byte {
+	s := d.sum
+	return append(b, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+}
+
+func (d *digest32) Reset()         { d.sum = offset32 }
+func (d *digest32) Size() int      { return 4 }
+func (d *digest32) BlockSize() int { return 1 }
+func (d *digest32) Sum32() uint32  { return d.sum }
+
+// digest64 is a streaming FNV-1 64-bit hash implementing hash.Hash64.
+type digest64 struct {
+	sum uint64
+}
+
+// New64 returns a streaming FNV-1 64-bit hash.Hash64.
+func New64() hash.Hash64 { return &digest64{sum: offset64} }
+
+func (d *digest64) Write(p []byte) (int, error) {
+	h := d.sum
+	for _, c := range p {
+		h *= prime64
+		h ^= uint64(c)
+	}
+	d.sum = h
+	return len(p), nil
+}
+
+func (d *digest64) Sum(b []byte) []byte {
+	s := d.sum
+	return append(b,
+		byte(s>>56), byte(s>>48), byte(s>>40), byte(s>>32),
+		byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+}
+
+func (d *digest64) Reset()         { d.sum = offset64 }
+func (d *digest64) Size() int      { return 8 }
+func (d *digest64) BlockSize() int { return 1 }
+func (d *digest64) Sum64() uint64  { return d.sum }

@@ -1,0 +1,193 @@
+package fnv
+
+import (
+	stdfnv "hash/fnv"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors from Landon Curt Noll's FNV test suite
+// (http://isthe.com/chongo/tech/comp/fnv/).
+var vectors32 = []struct {
+	in   string
+	fnv1 uint32
+}{
+	{"", 0x811c9dc5},
+	{"a", 0x050c5d7e},
+	{"b", 0x050c5d7d},
+	{"c", 0x050c5d7c},
+	{"foobar", 0x31f0b262},
+}
+
+var vectors64 = []struct {
+	in   string
+	fnv1 uint64
+}{
+	{"", 0xcbf29ce484222325},
+	{"a", 0xaf63bd4c8601b7be},
+	{"foobar", 0x340d8765a4dda9c2},
+}
+
+func TestHash32Vectors(t *testing.T) {
+	for _, v := range vectors32 {
+		if got := Hash32(v.in); got != v.fnv1 {
+			t.Errorf("Hash32(%q) = %#x, want %#x", v.in, got, v.fnv1)
+		}
+	}
+}
+
+func TestHash64Vectors(t *testing.T) {
+	for _, v := range vectors64 {
+		if got := Hash64(v.in); got != v.fnv1 {
+			t.Errorf("Hash64(%q) = %#x, want %#x", v.in, got, v.fnv1)
+		}
+	}
+}
+
+func TestHash32aMatchesStdlib(t *testing.T) {
+	// The standard library implements FNV-1a; our 1a variants must agree.
+	if err := quick.Check(func(b []byte) bool {
+		h := stdfnv.New32a()
+		h.Write(b)
+		return Hash32a(string(b)) == h.Sum32()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64aMatchesStdlib(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		h := stdfnv.New64a()
+		h.Write(b)
+		return Hash64a(string(b)) == h.Sum64()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash32MatchesStdlibFNV1(t *testing.T) {
+	// hash/fnv's New32 is plain FNV-1, same as ours.
+	if err := quick.Check(func(b []byte) bool {
+		h := stdfnv.New32()
+		h.Write(b)
+		return Hash32Bytes(b) == h.Sum32()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64MatchesStdlibFNV1(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		h := stdfnv.New64()
+		h.Write(b)
+		return Hash64Bytes(b) == h.Sum64()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAndStringFormsAgree(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		return Hash32(string(b)) == Hash32Bytes(b) &&
+			Hash64(string(b)) == Hash64Bytes(b)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreaming32EqualsOneShot(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		d := New32()
+		d.Write(a)
+		d.Write(b)
+		whole := append(append([]byte{}, a...), b...)
+		return d.Sum32() == Hash32Bytes(whole)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreaming64EqualsOneShot(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		d := New64()
+		d.Write(a)
+		d.Write(b)
+		whole := append(append([]byte{}, a...), b...)
+		return d.Sum64() == Hash64Bytes(whole)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New32()
+	d.Write([]byte("polluted state"))
+	d.Reset()
+	if d.Sum32() != Hash32("") {
+		t.Errorf("Reset did not restore offset basis: %#x", d.Sum32())
+	}
+	d64 := New64()
+	d64.Write([]byte("polluted state"))
+	d64.Reset()
+	if d64.Sum64() != Hash64("") {
+		t.Errorf("Reset did not restore offset basis: %#x", d64.Sum64())
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	d := New32()
+	d.Write([]byte("a"))
+	out := d.Sum([]byte{0xff})
+	if len(out) != 5 || out[0] != 0xff {
+		t.Fatalf("Sum should append to prefix, got % x", out)
+	}
+	want := Hash32("a")
+	got := uint32(out[1])<<24 | uint32(out[2])<<16 | uint32(out[3])<<8 | uint32(out[4])
+	if got != want {
+		t.Errorf("Sum bytes = %#x, want %#x", got, want)
+	}
+	d64 := New64()
+	d64.Write([]byte("a"))
+	out64 := d64.Sum(nil)
+	if len(out64) != 8 {
+		t.Fatalf("Sum64 length = %d, want 8", len(out64))
+	}
+}
+
+func TestSizeBlockSize(t *testing.T) {
+	if New32().Size() != 4 || New32().BlockSize() != 1 {
+		t.Error("unexpected 32-bit Size/BlockSize")
+	}
+	if New64().Size() != 8 || New64().BlockSize() != 1 {
+		t.Error("unexpected 64-bit Size/BlockSize")
+	}
+}
+
+func TestDistinctShortStringsDiffer(t *testing.T) {
+	// Not a guarantee for any hash, but these specific short keys must not
+	// collide for the container tests to be meaningful.
+	seen := map[uint32]string{}
+	for _, s := range []string{"a", "b", "c", "ab", "ba", "abc", "cab", "index", "term"} {
+		h := Hash32(s)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("unexpected collision: %q and %q -> %#x", prev, s, h)
+		}
+		seen[h] = s
+	}
+}
+
+func BenchmarkHash32(b *testing.B) {
+	s := "the quick brown fox jumps over the lazy dog"
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		Hash32(s)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	s := "the quick brown fox jumps over the lazy dog"
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		Hash64(s)
+	}
+}

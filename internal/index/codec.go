@@ -1,0 +1,196 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"desksearch/internal/fnv"
+	"desksearch/internal/postings"
+)
+
+// The on-disk index format:
+//
+//	magic "DSIX" | u16 version | uvarint fileCount
+//	fileCount × (uvarint pathLen | path bytes | uvarint size)
+//	uvarint termCount
+//	termCount × (uvarint termLen | term bytes | posting-list varint encoding)
+//	u64 FNV-1 checksum of everything above
+//
+// A desktop search tool persists its index between sessions; this codec is
+// that persistence layer for cmd/indexgen and cmd/dsearch.
+
+const (
+	codecMagic   = "DSIX"
+	codecVersion = 1
+	// maxCount bounds file/term/posting counts against corrupt headers.
+	maxCount = 1 << 31
+)
+
+// Save writes the index and its file table to w.
+func Save(w io.Writer, ix *Index, files *FileTable) error {
+	h := fnv.New64()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	binary.LittleEndian.PutUint16(scratch[:2], codecVersion)
+	if _, err := bw.Write(scratch[:2]); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(files.Len())); err != nil {
+		return err
+	}
+	for id, path := range files.Paths() {
+		if err := writeUvarint(uint64(len(path))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(path); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(files.Size(postings.FileID(id)))); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(ix.NumTerms())); err != nil {
+		return err
+	}
+	var saveErr error
+	var buf []byte
+	ix.Range(func(term string, l *postings.List) bool {
+		if saveErr = writeUvarint(uint64(len(term))); saveErr != nil {
+			return false
+		}
+		if _, saveErr = bw.WriteString(term); saveErr != nil {
+			return false
+		}
+		buf = l.Encode(buf[:0])
+		if _, saveErr = bw.Write(buf); saveErr != nil {
+			return false
+		}
+		return true
+	})
+	if saveErr != nil {
+		return saveErr
+	}
+	// Flush the payload into the hash, then append the checksum trailer.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], h.Sum64())
+	if _, err := w.Write(scratch[:8]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load reads an index written by Save. It reads the whole stream into
+// memory first so the checksum can be verified over the exact payload
+// before any of it is trusted.
+func Load(r io.Reader) (*Index, *FileTable, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: reading: %w", err)
+	}
+	if len(data) < len(codecMagic)+2+8 {
+		return nil, nil, fmt.Errorf("index: truncated (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	want := binary.LittleEndian.Uint64(trailer)
+	if got := fnv.Hash64Bytes(payload); got != want {
+		return nil, nil, fmt.Errorf("index: checksum mismatch: file %#x, computed %#x", want, got)
+	}
+
+	br := bytes.NewReader(payload)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	verBuf := make([]byte, 2)
+	if _, err := io.ReadFull(br, verBuf); err != nil {
+		return nil, nil, fmt.Errorf("index: reading version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(verBuf); v != codecVersion {
+		return nil, nil, fmt.Errorf("index: unsupported version %d", v)
+	}
+
+	fileCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: reading file count: %w", err)
+	}
+	if fileCount > maxCount {
+		return nil, nil, fmt.Errorf("index: absurd file count %d", fileCount)
+	}
+	files := NewFileTable()
+	for i := uint64(0); i < fileCount; i++ {
+		path, err := readString(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: file %d path: %w", i, err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: file %d size: %w", i, err)
+		}
+		files.Add(path, int64(size))
+	}
+
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: reading term count: %w", err)
+	}
+	if termCount > maxCount {
+		return nil, nil, fmt.Errorf("index: absurd term count %d", termCount)
+	}
+	ix := New(int(termCount))
+	for i := uint64(0); i < termCount; i++ {
+		term, err := readString(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: term %d: %w", i, err)
+		}
+		// Decode the posting list directly from the remaining payload.
+		rest := payload[len(payload)-br.Len():]
+		l, n, err := postings.Decode(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: term %q: %w", term, err)
+		}
+		if _, err := br.Seek(int64(n), io.SeekCurrent); err != nil {
+			return nil, nil, err
+		}
+		if _, dup := ix.terms.Get(term); dup {
+			return nil, nil, fmt.Errorf("index: duplicate term %q", term)
+		}
+		ix.terms.Put(term, l)
+		ix.nPostings += int64(l.Len())
+	}
+	if br.Len() != 0 {
+		return nil, nil, fmt.Errorf("index: %d trailing payload bytes", br.Len())
+	}
+	return ix, files, nil
+}
+
+func readString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("absurd string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,172 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"desksearch/internal/postings"
+)
+
+func buildSampleIndex(rng *rand.Rand, nFiles, vocab int) (*Index, *FileTable) {
+	ft := NewFileTable()
+	ix := New(0)
+	for f := 0; f < nFiles; f++ {
+		id := ft.Add(fmt.Sprintf("dir%d/file%d.txt", f%4, f), int64(100+f))
+		n := 1 + rng.Intn(10)
+		if n > vocab {
+			n = vocab
+		}
+		seen := map[string]bool{}
+		var terms []string
+		for len(terms) < n {
+			w := fmt.Sprintf("term%d", rng.Intn(vocab))
+			if !seen[w] {
+				seen[w] = true
+				terms = append(terms, w)
+			}
+		}
+		ix.AddBlock(id, terms)
+	}
+	return ix, ft
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix, ft := buildSampleIndex(rng, 50, 30)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	loadedIx, loadedFt, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loadedIx.Equal(ix) {
+		t.Error("loaded index differs")
+	}
+	if loadedIx.NumPostings() != ix.NumPostings() {
+		t.Errorf("postings = %d, want %d", loadedIx.NumPostings(), ix.NumPostings())
+	}
+	if loadedFt.Len() != ft.Len() {
+		t.Fatalf("file table len = %d, want %d", loadedFt.Len(), ft.Len())
+	}
+	for i := 0; i < ft.Len(); i++ {
+		id := postings.FileID(i)
+		if loadedFt.Path(id) != ft.Path(id) || loadedFt.Size(id) != ft.Size(id) {
+			t.Errorf("file %d: %q/%d vs %q/%d", i,
+				loadedFt.Path(id), loadedFt.Size(id), ft.Path(id), ft.Size(id))
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, New(0), NewFileTable()); err != nil {
+		t.Fatal(err)
+	}
+	ix, ft, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumTerms() != 0 || ft.Len() != 0 {
+		t.Error("empty round trip not empty")
+	}
+}
+
+// Property: round-trip over random small indices.
+func TestSaveLoadQuick(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix, ft := buildSampleIndex(rng, 1+rng.Intn(20), 1+rng.Intn(15))
+		var buf bytes.Buffer
+		if err := Save(&buf, ix, ft); err != nil {
+			return false
+		}
+		got, gotFt, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Equal(ix) && gotFt.Len() == ft.Len()
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ix, ft := buildSampleIndex(rng, 20, 10)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one byte at several positions: every corruption must be caught
+	// by the checksum (or the parser).
+	for _, pos := range []int{0, 4, 6, len(pristine) / 2, len(pristine) - 9, len(pristine) - 1} {
+		corrupt := append([]byte(nil), pristine...)
+		corrupt[pos] ^= 0x40
+		if _, _, err := Load(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ix, ft := buildSampleIndex(rng, 10, 5)
+	var buf bytes.Buffer
+	Save(&buf, ix, ft)
+	data := buf.Bytes()
+	for _, n := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, _, err := Load(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestLoadRejectsWrongMagicAndVersion(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("BOGUS-format-data-long-enough-000000")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix, ft := buildSampleIndex(rng, 10, 5)
+	if err := Save(failWriter{}, ix, ft); err == nil {
+		t.Error("Save to failing writer succeeded")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("full disk") }
+
+func BenchmarkSave(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	ix, ft := buildSampleIndex(rng, 1000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		Save(&buf, ix, ft)
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	ix, ft := buildSampleIndex(rng, 1000, 500)
+	var buf bytes.Buffer
+	Save(&buf, ix, ft)
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"desksearch/internal/postings"
+)
+
+func TestFileTable(t *testing.T) {
+	ft := NewFileTable()
+	if ft.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	a := ft.Add("docs/a.txt", 100)
+	b := ft.Add("docs/b.txt", 200)
+	if a != 0 || b != 1 {
+		t.Errorf("ids = %d, %d", a, b)
+	}
+	if ft.Path(a) != "docs/a.txt" || ft.Size(b) != 200 {
+		t.Error("lookup wrong")
+	}
+	if len(ft.Paths()) != 2 {
+		t.Error("Paths wrong")
+	}
+}
+
+func TestAddBlockAndLookup(t *testing.T) {
+	ix := New(0)
+	ix.AddBlock(1, []string{"alpha", "beta"})
+	ix.AddBlock(2, []string{"beta", "gamma"})
+	if ix.NumTerms() != 3 {
+		t.Errorf("NumTerms = %d", ix.NumTerms())
+	}
+	if ix.NumPostings() != 4 {
+		t.Errorf("NumPostings = %d", ix.NumPostings())
+	}
+	if l := ix.Lookup("beta"); !reflect.DeepEqual(l.IDs(), []postings.FileID{1, 2}) {
+		t.Errorf("beta -> %v", l.IDs())
+	}
+	if l := ix.Lookup("alpha"); !reflect.DeepEqual(l.IDs(), []postings.FileID{1}) {
+		t.Errorf("alpha -> %v", l.IDs())
+	}
+	if ix.Lookup("absent") != nil {
+		t.Error("absent term returned a list")
+	}
+}
+
+func TestAddTermOccurrenceDeduplicates(t *testing.T) {
+	ix := New(0)
+	// The immediate-insertion path sees duplicates (same term repeatedly in
+	// one file); the index must end up identical to the en-bloc path.
+	for _, term := range []string{"dup", "dup", "other", "dup"} {
+		ix.AddTermOccurrence(term, 7)
+	}
+	if ix.NumPostings() != 2 {
+		t.Errorf("NumPostings = %d, want 2", ix.NumPostings())
+	}
+	en := New(0)
+	en.AddBlock(7, []string{"dup", "other"})
+	if !ix.Equal(en) {
+		t.Error("immediate insertion diverged from en-bloc insertion")
+	}
+}
+
+func TestRangeAndTerms(t *testing.T) {
+	ix := New(0)
+	ix.AddBlock(0, []string{"a", "b", "c"})
+	var seen []string
+	ix.Range(func(term string, l *postings.List) bool {
+		seen = append(seen, term)
+		return true
+	})
+	sort.Strings(seen)
+	if !reflect.DeepEqual(seen, []string{"a", "b", "c"}) {
+		t.Errorf("Range saw %v", seen)
+	}
+	terms := ix.Terms(nil)
+	sort.Strings(terms)
+	if !reflect.DeepEqual(terms, []string{"a", "b", "c"}) {
+		t.Errorf("Terms = %v", terms)
+	}
+}
+
+func TestJoinMergesPostings(t *testing.T) {
+	a := New(0)
+	a.AddBlock(0, []string{"shared", "onlyA"})
+	b := New(0)
+	b.AddBlock(1, []string{"shared", "onlyB"})
+	a.Join(b)
+	if a.NumTerms() != 3 {
+		t.Errorf("NumTerms = %d", a.NumTerms())
+	}
+	if a.NumPostings() != 4 {
+		t.Errorf("NumPostings = %d", a.NumPostings())
+	}
+	if l := a.Lookup("shared"); !reflect.DeepEqual(l.IDs(), []postings.FileID{0, 1}) {
+		t.Errorf("shared -> %v", l.IDs())
+	}
+	a.Join(nil) // must not panic
+}
+
+func TestJoinOverlappingPostingsCountsOnce(t *testing.T) {
+	a := New(0)
+	a.AddBlock(3, []string{"t"})
+	b := New(0)
+	b.AddBlock(3, []string{"t"}) // same (term, file) posting in both
+	a.Join(b)
+	if a.NumPostings() != 1 {
+		t.Errorf("NumPostings = %d, want 1", a.NumPostings())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(0)
+	a.AddBlock(0, []string{"x", "y"})
+	b := New(0)
+	b.AddBlock(0, []string{"y", "x"})
+	if !a.Equal(b) {
+		t.Error("order-insensitive indices should be equal")
+	}
+	b.AddBlock(1, []string{"x"})
+	if a.Equal(b) {
+		t.Error("different indices reported equal")
+	}
+	c := New(0)
+	c.AddBlock(0, []string{"x", "z"})
+	if a.Equal(c) {
+		t.Error("same size, different terms reported equal")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	ix := New(0)
+	ix.AddBlock(0, []string{"a"})
+	s := ix.Stats()
+	if s.Terms != 1 || s.Postings != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.String() != "1 terms, 1 postings" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// referenceIndex builds an index sequentially from (file, terms) pairs.
+func referenceIndex(blocks map[postings.FileID][]string) *Index {
+	ix := New(0)
+	ids := make([]postings.FileID, 0, len(blocks))
+	for id := range blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ix.AddBlock(id, blocks[id])
+	}
+	return ix
+}
+
+func randomBlocks(rng *rand.Rand, nFiles, vocab int) map[postings.FileID][]string {
+	blocks := map[postings.FileID][]string{}
+	for f := 0; f < nFiles; f++ {
+		n := 1 + rng.Intn(8)
+		seen := map[string]bool{}
+		var terms []string
+		for len(terms) < n {
+			w := fmt.Sprintf("w%d", rng.Intn(vocab))
+			if !seen[w] {
+				seen[w] = true
+				terms = append(terms, w)
+			}
+		}
+		blocks[postings.FileID(f)] = terms
+	}
+	return blocks
+}
+
+// Property: joining a partition of the blocks (in any order, with any join
+// strategy) equals indexing them all sequentially — "Join Forces" loses and
+// invents nothing.
+func TestJoinEqualsSequentialReference(t *testing.T) {
+	if err := quick.Check(func(seed int64, nReplicas uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := randomBlocks(rng, 30, 20)
+		want := referenceIndex(blocks)
+
+		r := int(nReplicas%5) + 1
+		replicas := make([]*Index, r)
+		for i := range replicas {
+			replicas[i] = New(0)
+		}
+		// Round-robin distribution, like the pipeline's.
+		i := 0
+		ids := make([]postings.FileID, 0, len(blocks))
+		for id := range blocks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			replicas[i%r].AddBlock(id, blocks[id])
+			i++
+		}
+		got := JoinAll(replicas)
+		return got.Equal(want)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelJoinEqualsSequentialJoin(t *testing.T) {
+	for _, nReplicas := range []int{1, 2, 3, 5, 8, 16} {
+		for _, workers := range []int{1, 2, 4} {
+			rng := rand.New(rand.NewSource(int64(nReplicas*100 + workers)))
+			blocks := randomBlocks(rng, 60, 30)
+			want := referenceIndex(blocks)
+
+			build := func() []*Index {
+				replicas := make([]*Index, nReplicas)
+				for i := range replicas {
+					replicas[i] = New(0)
+				}
+				i := 0
+				ids := make([]postings.FileID, 0, len(blocks))
+				for id := range blocks {
+					ids = append(ids, id)
+				}
+				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+				for _, id := range ids {
+					replicas[i%nReplicas].AddBlock(id, blocks[id])
+					i++
+				}
+				return replicas
+			}
+			got := ParallelJoin(build(), workers)
+			if !got.Equal(want) {
+				t.Fatalf("ParallelJoin(%d replicas, %d workers) diverged", nReplicas, workers)
+			}
+			if got.NumPostings() != want.NumPostings() {
+				t.Fatalf("posting count diverged: %d vs %d", got.NumPostings(), want.NumPostings())
+			}
+		}
+	}
+}
+
+func TestJoinAllEmpty(t *testing.T) {
+	if ix := JoinAll(nil); ix.NumTerms() != 0 {
+		t.Error("JoinAll(nil) not empty")
+	}
+	if ix := ParallelJoin(nil, 4); ix.NumTerms() != 0 {
+		t.Error("ParallelJoin(nil) not empty")
+	}
+}
+
+func TestSharedConcurrentAddBlock(t *testing.T) {
+	s := NewShared(0)
+	const workers = 8
+	const filesPerWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for f := 0; f < filesPerWorker; f++ {
+				id := postings.FileID(w*filesPerWorker + f)
+				s.AddBlock(id, []string{"common", fmt.Sprintf("w%d", w), fmt.Sprintf("f%d", f)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	ix := s.Unwrap()
+	if got := ix.Lookup("common").Len(); got != workers*filesPerWorker {
+		t.Errorf("common has %d postings, want %d", got, workers*filesPerWorker)
+	}
+	// Per-worker terms appear in exactly filesPerWorker files.
+	for w := 0; w < workers; w++ {
+		if got := ix.Lookup(fmt.Sprintf("w%d", w)).Len(); got != filesPerWorker {
+			t.Errorf("w%d has %d postings", w, got)
+		}
+	}
+}
+
+func TestSharedConcurrentAddTermOccurrence(t *testing.T) {
+	s := NewShared(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.AddTermOccurrence("hot", postings.FileID(i%10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Unwrap().Lookup("hot").Len(); got != 10 {
+		t.Errorf("hot has %d postings, want 10", got)
+	}
+}

@@ -1,0 +1,58 @@
+package index
+
+import "sync"
+
+// JoinAll sequentially folds the replica indices into the first one and
+// returns it — the single-joiner strategy (z = 1 in the paper's
+// configuration tuples). The inputs must not be used afterwards.
+func JoinAll(replicas []*Index) *Index {
+	if len(replicas) == 0 {
+		return New(0)
+	}
+	root := replicas[0]
+	for _, r := range replicas[1:] {
+		root.Join(r)
+	}
+	return root
+}
+
+// ParallelJoin merges the replicas with a reduction tree executed by up to
+// workers concurrent joiners (z > 1) and returns the single joined index.
+// The inputs must not be used afterwards.
+//
+// Each reduction round pairs adjacent indices and merges them concurrently;
+// rounds repeat until one index remains. With w workers the critical path is
+// ceil(log2(n)) rounds, against n-1 sequential merges for JoinAll — the
+// "parallel reduction setup with multiple joining processes" the paper asks
+// about in Section 2.3.
+func ParallelJoin(replicas []*Index, workers int) *Index {
+	if len(replicas) == 0 {
+		return New(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	live := replicas
+	sem := make(chan struct{}, workers)
+	for len(live) > 1 {
+		next := make([]*Index, 0, (len(live)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(live); i += 2 {
+			a, b := live[i], live[i+1]
+			next = append(next, a)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				a.Join(b)
+				<-sem
+			}()
+		}
+		if len(live)%2 == 1 {
+			next = append(next, live[len(live)-1])
+		}
+		wg.Wait()
+		live = next
+	}
+	return live[0]
+}

@@ -1,0 +1,79 @@
+package index
+
+import (
+	"sort"
+
+	"desksearch/internal/postings"
+)
+
+// This file implements index maintenance beyond the paper's batch build:
+// a desktop search tool must follow the user's filesystem, removing and
+// re-indexing files as they change between full rebuilds.
+
+// RemoveFile deletes every posting of the given file and returns the
+// number of postings removed. Terms whose posting lists become empty are
+// dropped from the index.
+//
+// The inverted mapping makes removal a full scan (the index has no
+// file → terms direction); that is the structural price of the paper's
+// design and the reason desktop search tools batch deletions.
+func (ix *Index) RemoveFile(id postings.FileID) int {
+	removed := 0
+	var emptied []string
+	ix.terms.Range(func(term string, l *postings.List) bool {
+		if !l.Contains(id) {
+			return true
+		}
+		rest := postings.Difference(l, postings.FromIDs([]postings.FileID{id}))
+		removed++
+		if rest.Len() == 0 {
+			emptied = append(emptied, term)
+			return true
+		}
+		ix.terms.Put(term, rest)
+		return true
+	})
+	for _, term := range emptied {
+		ix.terms.Delete(term)
+	}
+	ix.nPostings -= int64(removed)
+	return removed
+}
+
+// UpdateFile replaces a file's postings with a fresh duplicate-free term
+// block (remove + en-bloc insert), the re-index path for a modified file.
+func (ix *Index) UpdateFile(id postings.FileID, terms []string) {
+	ix.RemoveFile(id)
+	ix.AddBlock(id, terms)
+}
+
+// TermCount is a term with its document frequency.
+type TermCount struct {
+	Term string
+	// Files is the number of files containing the term.
+	Files int
+}
+
+// TopTerms returns the n most frequent terms by document count, most
+// frequent first (ties broken alphabetically, so the result is
+// deterministic).
+func (ix *Index) TopTerms(n int) []TermCount {
+	if n <= 0 {
+		return nil
+	}
+	all := make([]TermCount, 0, ix.NumTerms())
+	ix.terms.Range(func(term string, l *postings.List) bool {
+		all = append(all, TermCount{Term: term, Files: l.Len()})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Files != all[j].Files {
+			return all[i].Files > all[j].Files
+		}
+		return all[i].Term < all[j].Term
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

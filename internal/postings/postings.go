@@ -1,0 +1,199 @@
+// Package postings implements the posting lists of the inverted index:
+// for each term, the list of files that contain it.
+//
+// The paper's design inserts one term block per file, with the guarantee
+// that each file is scanned exactly once; a posting list therefore never
+// sees the same file twice during generation, and duplicate checking — the
+// linear search the paper's analysis eliminates — is only needed when lists
+// from different runs are merged. Lists keep file IDs sorted so that merge,
+// intersection, and union run in linear time.
+package postings
+
+import "sort"
+
+// FileID identifies a file in the indexed corpus. IDs are assigned by
+// Stage 1 (filename generation) in traversal order.
+type FileID uint32
+
+// List is a posting list: a sorted set of FileIDs.
+//
+// The zero value is an empty list. Lists built exclusively through Add with
+// the generator's one-block-per-file discipline stay sorted for free when
+// IDs arrive in order; Add handles out-of-order arrival (as happens with
+// parallel extractors) by insertion.
+type List struct {
+	ids []FileID
+}
+
+// FromIDs builds a list from ids, sorting and deduplicating as needed.
+func FromIDs(ids []FileID) *List {
+	l := &List{ids: append([]FileID(nil), ids...)}
+	sort.Slice(l.ids, func(i, j int) bool { return l.ids[i] < l.ids[j] })
+	l.dedupSorted()
+	return l
+}
+
+func (l *List) dedupSorted() {
+	out := l.ids[:0]
+	for i, id := range l.ids {
+		if i == 0 || id != l.ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	l.ids = out
+}
+
+// Len returns the number of postings.
+func (l *List) Len() int { return len(l.ids) }
+
+// IDs returns the postings in ascending order. The returned slice is the
+// list's backing storage; callers must not modify it.
+func (l *List) IDs() []FileID { return l.ids }
+
+// Contains reports whether id is in the list.
+func (l *List) Contains(id FileID) bool {
+	i := sort.Search(len(l.ids), func(i int) bool { return l.ids[i] >= id })
+	return i < len(l.ids) && l.ids[i] == id
+}
+
+// Add inserts id, keeping the list sorted and duplicate-free. The common
+// fast path — id greater than every present posting — is O(1) amortized.
+func (l *List) Add(id FileID) {
+	n := len(l.ids)
+	if n == 0 || id > l.ids[n-1] {
+		l.ids = append(l.ids, id)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return l.ids[i] >= id })
+	if i < n && l.ids[i] == id {
+		return
+	}
+	l.ids = append(l.ids, 0)
+	copy(l.ids[i+1:], l.ids[i:])
+	l.ids[i] = id
+}
+
+// Merge destructively merges other into l (set union) and returns l.
+// The two-pointer merge is linear in the combined length.
+func (l *List) Merge(other *List) *List {
+	if other == nil || len(other.ids) == 0 {
+		return l
+	}
+	if len(l.ids) == 0 {
+		l.ids = append(l.ids, other.ids...)
+		return l
+	}
+	// Fast path: disjoint ranges, the usual case when replicas own
+	// round-robin slices of the corpus.
+	if l.ids[len(l.ids)-1] < other.ids[0] {
+		l.ids = append(l.ids, other.ids...)
+		return l
+	}
+	if other.ids[len(other.ids)-1] < l.ids[0] {
+		merged := make([]FileID, 0, len(l.ids)+len(other.ids))
+		merged = append(merged, other.ids...)
+		merged = append(merged, l.ids...)
+		l.ids = merged
+		return l
+	}
+	merged := make([]FileID, 0, len(l.ids)+len(other.ids))
+	i, j := 0, 0
+	for i < len(l.ids) && j < len(other.ids) {
+		a, b := l.ids[i], other.ids[j]
+		switch {
+		case a < b:
+			merged = append(merged, a)
+			i++
+		case b < a:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, a)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, l.ids[i:]...)
+	merged = append(merged, other.ids[j:]...)
+	l.ids = merged
+	return l
+}
+
+// Clone returns an independent copy of the list.
+func (l *List) Clone() *List {
+	return &List{ids: append([]FileID(nil), l.ids...)}
+}
+
+// Equal reports whether two lists hold the same postings.
+func (l *List) Equal(other *List) bool {
+	if l.Len() != other.Len() {
+		return false
+	}
+	for i, id := range l.ids {
+		if other.ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the postings common to a and b (boolean AND).
+func Intersect(a, b *List) *List {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	out := &List{}
+	// Galloping search pays off when sizes are skewed, the common case for
+	// query terms of very different frequency.
+	if large.Len() > 8*small.Len() {
+		lo := 0
+		for _, id := range small.ids {
+			i := lo + sort.Search(len(large.ids)-lo, func(i int) bool { return large.ids[lo+i] >= id })
+			if i < len(large.ids) && large.ids[i] == id {
+				out.ids = append(out.ids, id)
+			}
+			lo = i
+			if lo >= len(large.ids) {
+				break
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(small.ids) && j < len(large.ids) {
+		a, b := small.ids[i], large.ids[j]
+		switch {
+		case a < b:
+			i++
+		case b < a:
+			j++
+		default:
+			out.ids = append(out.ids, a)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns all postings in a or b (boolean OR).
+func Union(a, b *List) *List {
+	return a.Clone().Merge(b)
+}
+
+// Difference returns the postings in a but not in b (boolean AND NOT).
+func Difference(a, b *List) *List {
+	out := &List{ids: make([]FileID, 0, a.Len())}
+	i, j := 0, 0
+	for i < len(a.ids) {
+		for j < len(b.ids) && b.ids[j] < a.ids[i] {
+			j++
+		}
+		if j >= len(b.ids) || b.ids[j] != a.ids[i] {
+			out.ids = append(out.ids, a.ids[i])
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode appends a compact encoding of the list to dst and returns it:
+// a uvarint count followed by uvarint deltas between consecutive IDs.
+// Delta coding exploits the sorted invariant; small gaps dominate in dense
+// posting lists, making most deltas one byte.
+func (l *List) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(l.ids)))
+	prev := FileID(0)
+	for i, id := range l.ids {
+		delta := uint64(id - prev)
+		if i == 0 {
+			delta = uint64(id)
+		}
+		dst = binary.AppendUvarint(dst, delta)
+		prev = id
+	}
+	return dst
+}
+
+// Decode parses a list encoded by Encode from buf, returning the list and
+// the number of bytes consumed.
+func Decode(buf []byte) (*List, int, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("postings: corrupt count")
+	}
+	if count > uint64(len(buf)) { // each posting takes ≥1 byte
+		return nil, 0, fmt.Errorf("postings: count %d exceeds buffer", count)
+	}
+	off := n
+	l := &List{ids: make([]FileID, 0, count)}
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("postings: corrupt delta at %d", i)
+		}
+		off += n
+		var id uint64
+		if i == 0 {
+			id = delta
+		} else {
+			id = prev + delta
+			if delta == 0 {
+				return nil, 0, fmt.Errorf("postings: zero delta at %d (duplicate id)", i)
+			}
+		}
+		if id > 0xFFFF_FFFF {
+			return nil, 0, fmt.Errorf("postings: id %d overflows FileID", id)
+		}
+		l.ids = append(l.ids, FileID(id))
+		prev = id
+	}
+	return l, off, nil
+}
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func (l *List) EncodedSize() int {
+	size := uvarintLen(uint64(len(l.ids)))
+	prev := FileID(0)
+	for i, id := range l.ids {
+		delta := uint64(id - prev)
+		if i == 0 {
+			delta = uint64(id)
+		}
+		size += uvarintLen(delta)
+		prev = id
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package search
+
+import (
+	"sort"
+	"sync"
+
+	"desksearch/internal/index"
+	"desksearch/internal/postings"
+)
+
+// Hit is one search result.
+type Hit struct {
+	// File is the matched file's ID.
+	File postings.FileID
+	// Path is the matched file's path.
+	Path string
+	// Score counts how many distinct positive query terms the file
+	// contains (coordination ranking); for pure conjunctions every hit
+	// scores the same, for OR queries broader matches rank higher.
+	Score int
+}
+
+// Engine executes queries over one or more indices sharing a file table.
+// It is the paper's Implementation 3 made whole: "the search can work with
+// multiple indices in parallel".
+type Engine struct {
+	files   *index.FileTable
+	indices []*index.Index
+	// Parallel fans query evaluation out with one goroutine per index.
+	// Off, replicas are searched sequentially (the ablation baseline).
+	Parallel bool
+
+	uniOnce   sync.Once
+	universes []*postings.List
+}
+
+// NewEngine returns an engine over the given indices. For a joined or
+// shared index pass exactly one; for Implementation 3 pass all replicas.
+func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
+	return &Engine{files: files, indices: indices, Parallel: true}
+}
+
+// Indices returns the number of indices the engine consults.
+func (e *Engine) Indices() int { return len(e.indices) }
+
+// Search evaluates q and returns hits sorted by descending score, then
+// ascending file ID.
+func (e *Engine) Search(q *Query) []Hit {
+	unis := e.indexUniverses()
+	perIndex := make([][]Hit, len(e.indices))
+	if e.Parallel && len(e.indices) > 1 {
+		var wg sync.WaitGroup
+		for i, ix := range e.indices {
+			wg.Add(1)
+			go func(i int, ix *index.Index) {
+				defer wg.Done()
+				perIndex[i] = e.searchOne(ix, unis[i], q)
+			}(i, ix)
+		}
+		wg.Wait()
+	} else {
+		for i, ix := range e.indices {
+			perIndex[i] = e.searchOne(ix, unis[i], q)
+		}
+	}
+	var out []Hit
+	for _, hits := range perIndex {
+		out = append(out, hits...)
+	}
+	// Files live in exactly one replica, so concatenation is a disjoint
+	// union; only ordering remains.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].File < out[j].File
+	})
+	return out
+}
+
+// SearchString parses and evaluates a query in one step.
+func (e *Engine) SearchString(text string) ([]Hit, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Search(q), nil
+}
+
+// indexUniverses returns, per index, the posting list of files that index
+// is responsible for — the complement base for NOT.
+//
+// With one index that is simply every file. With replicas, each file's
+// block went to exactly one replica, so replica i's universe is the union
+// of its posting lists; files that appear in no replica at all (term-free
+// files) are assigned to replica 0 so that "NOT anything" still finds
+// them exactly once.
+func (e *Engine) indexUniverses() []*postings.List {
+	e.uniOnce.Do(func() {
+		e.universes = make([]*postings.List, len(e.indices))
+		if len(e.indices) == 1 {
+			e.universes[0] = e.allFiles()
+			return
+		}
+		covered := &postings.List{}
+		for i, ix := range e.indices {
+			u := &postings.List{}
+			ix.Range(func(_ string, l *postings.List) bool {
+				u.Merge(l.Clone())
+				return true
+			})
+			e.universes[i] = u
+			covered.Merge(u.Clone())
+		}
+		orphans := postings.Difference(e.allFiles(), covered)
+		if orphans.Len() > 0 && len(e.universes) > 0 {
+			e.universes[0].Merge(orphans)
+		}
+	})
+	return e.universes
+}
+
+func (e *Engine) allFiles() *postings.List {
+	ids := make([]postings.FileID, e.files.Len())
+	for i := range ids {
+		ids[i] = postings.FileID(i)
+	}
+	return postings.FromIDs(ids)
+}
+
+// searchOne evaluates q against a single index and scores its matches.
+func (e *Engine) searchOne(ix *index.Index, universe *postings.List, q *Query) []Hit {
+	matched := eval(ix, q.root, universe)
+	if matched == nil || matched.Len() == 0 {
+		return nil
+	}
+	// Coordination scores: +1 per positive term present.
+	scores := make(map[postings.FileID]int, matched.Len())
+	for _, id := range matched.IDs() {
+		scores[id] = 0
+	}
+	for _, term := range q.positive {
+		l := ix.Lookup(term)
+		if l == nil {
+			continue
+		}
+		for _, id := range postings.Intersect(matched, l).IDs() {
+			scores[id]++
+		}
+	}
+	hits := make([]Hit, 0, matched.Len())
+	for _, id := range matched.IDs() {
+		hits = append(hits, Hit{File: id, Path: e.files.Path(id), Score: scores[id]})
+	}
+	return hits
+}
+
+// eval computes the posting list of files satisfying n within one index.
+func eval(ix *index.Index, n node, universe *postings.List) *postings.List {
+	switch v := n.(type) {
+	case termNode:
+		l := ix.Lookup(v.term)
+		if l == nil {
+			return &postings.List{}
+		}
+		return l
+	case andNode:
+		acc := eval(ix, v.kids[0], universe)
+		for _, k := range v.kids[1:] {
+			if acc.Len() == 0 {
+				return acc
+			}
+			acc = postings.Intersect(acc, eval(ix, k, universe))
+		}
+		return acc
+	case orNode:
+		acc := &postings.List{}
+		for _, k := range v.kids {
+			acc = postings.Union(acc, eval(ix, k, universe))
+		}
+		return acc
+	case notNode:
+		return postings.Difference(universe, eval(ix, v.kid, universe))
+	default:
+		return &postings.List{}
+	}
+}

@@ -1,0 +1,281 @@
+// Package search implements the query side of desktop search — the paper's
+// named future work ("integrate the search query functionality and
+// parallelize it as well, for instance by using multiple indices").
+//
+// Queries are boolean: terms combine with implicit AND, the OR and NOT
+// keywords, and parentheses. Execution runs against one index or fans out
+// in parallel over the replica indices that Implementation 3 leaves
+// unjoined. Because every file's term block lands in exactly one replica,
+// any per-file predicate evaluates correctly replica-by-replica; the final
+// result is the union of per-replica results.
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"desksearch/internal/tokenize"
+)
+
+// Query is a parsed boolean query.
+type Query struct {
+	root node
+	// positive lists the non-negated terms, used for ranking.
+	positive []string
+}
+
+// node is a query AST node.
+type node interface {
+	// String renders the node in canonical form.
+	String() string
+}
+
+type termNode struct{ term string }
+type andNode struct{ kids []node }
+type orNode struct{ kids []node }
+type notNode struct{ kid node }
+
+func (n termNode) String() string { return n.term }
+
+func (n andNode) String() string { return "(" + joinNodes(n.kids, " AND ") + ")" }
+
+func (n orNode) String() string { return "(" + joinNodes(n.kids, " OR ") + ")" }
+
+func (n notNode) String() string { return "(NOT " + n.kid.String() + ")" }
+
+func joinNodes(kids []node, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// String renders the query in canonical form.
+func (q *Query) String() string {
+	if q.root == nil {
+		return ""
+	}
+	return q.root.String()
+}
+
+// Terms returns the query's positive (non-negated) terms in order of first
+// appearance.
+func (q *Query) Terms() []string { return q.positive }
+
+// Parse builds a Query from text. Grammar:
+//
+//	query  := or
+//	or     := and ("OR" and)*
+//	and    := unary+            (implicit AND)
+//	unary  := "NOT" unary | "(" or ")" | TERM
+//
+// Keywords are case-insensitive; terms are normalized exactly like indexed
+// text (lower-cased ASCII alphanumerics), so "Cat!" matches the indexed
+// term "cat". A leading '-' negates a term ("-draft" ≡ "NOT draft").
+func Parse(text string) (*Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("search: unexpected %q", p.peek().text)
+	}
+	q := &Query{root: root}
+	collectPositive(root, false, &q.positive)
+	return q, nil
+}
+
+// MustParse is Parse for known-good queries in examples and tests.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func collectPositive(n node, negated bool, out *[]string) {
+	switch v := n.(type) {
+	case termNode:
+		if !negated {
+			for _, seen := range *out {
+				if seen == v.term {
+					return
+				}
+			}
+			*out = append(*out, v.term)
+		}
+	case andNode:
+		for _, k := range v.kids {
+			collectPositive(k, negated, out)
+		}
+	case orNode:
+		for _, k := range v.kids {
+			collectPositive(k, negated, out)
+		}
+	case notNode:
+		collectPositive(v.kid, !negated, out)
+	}
+}
+
+type tokKind int
+
+const (
+	tokTerm tokKind = iota
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokNot, "-"})
+			i++
+		default:
+			j := i
+			for j < len(text) && !strings.ContainsRune(" \t\n\r()", rune(text[j])) {
+				j++
+			}
+			word := text[i:j]
+			i = j
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word})
+			case "OR":
+				toks = append(toks, token{tokOr, word})
+			case "NOT":
+				toks = append(toks, token{tokNot, word})
+			default:
+				// Normalize through the index's own tokenizer; one word
+				// of query text may carry several index terms ("e-mail").
+				terms := tokenize.Terms([]byte(word), tokenize.Default)
+				if len(terms) == 0 {
+					return nil, fmt.Errorf("search: %q contains no searchable term", word)
+				}
+				for _, t := range terms {
+					toks = append(toks, token{tokTerm, t})
+				}
+			}
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for !p.done() && p.peek().kind == tokOr {
+		p.next()
+		n, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return orNode{kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	var kids []node
+	for !p.done() {
+		switch p.peek().kind {
+		case tokOr, tokRParen:
+			goto out
+		case tokAnd:
+			p.next()
+			continue
+		}
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+out:
+	switch len(kids) {
+	case 0:
+		return nil, fmt.Errorf("search: expected a term")
+	case 1:
+		return kids[0], nil
+	default:
+		return andNode{kids: kids}, nil
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.done() {
+		return nil, fmt.Errorf("search: query ends where a term was expected")
+	}
+	switch t := p.next(); t.kind {
+	case tokNot:
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{kid: kid}, nil
+	case tokLParen:
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.done() || p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("search: missing ')'")
+		}
+		p.next()
+		return n, nil
+	case tokTerm:
+		return termNode{term: t.text}, nil
+	default:
+		return nil, fmt.Errorf("search: unexpected %q", t.text)
+	}
+}

@@ -1,0 +1,359 @@
+package simmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"desksearch/internal/core"
+	"desksearch/internal/corpus"
+	"desksearch/internal/platform"
+)
+
+// paperStats is the full-shape corpus metadata, computed once (it is pure
+// metadata — cheap, but not free).
+var (
+	paperStatsOnce sync.Once
+	paperStatsVal  corpus.Stats
+)
+
+func paperStats() corpus.Stats {
+	paperStatsOnce.Do(func() { paperStatsVal = corpus.Describe(corpus.PaperSpec()) })
+	return paperStatsVal
+}
+
+func mustSim(t *testing.T, p platform.Profile, cfg core.Config, opt Options) RunResult {
+	t.Helper()
+	res, err := Simulate(p, paperStats(), cfg, opt)
+	if err != nil {
+		t.Fatalf("%s %s: %v", p.Name, cfg.Tuple(), err)
+	}
+	return res
+}
+
+func TestStageTimesMatchPaperTable1(t *testing.T) {
+	for _, p := range platform.All() {
+		f, r, re, ins := StageTimes(p, paperStats())
+		within := func(got, want, tol float64, what string) {
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s %s: %.2f, want %.2f", p.Name, what, got, want)
+			}
+		}
+		within(f, p.TFilename, 0.05, "filename")
+		within(r, p.TRead, 0.5, "read")
+		within(re, p.TReadExtract, 0.5, "read+extract")
+		within(ins, p.TInsert, 0.05, "insert")
+	}
+}
+
+func TestSequentialBaselineMatchesPaper(t *testing.T) {
+	for _, p := range platform.All() {
+		seq, err := SequentialBaseline(p, paperStats(), Options{Batch: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seq-p.PaperSequential)/p.PaperSequential > 0.02 {
+			t.Errorf("%s: sequential %.1f, paper %.1f", p.Name, seq, p.PaperSequential)
+		}
+	}
+}
+
+func TestDeterministicSameSeed(t *testing.T) {
+	p := platform.Manycore32()
+	cfg := core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 4, Joiners: 2}
+	a := mustSim(t, p, cfg, Options{Batch: 16, Jitter: 0.02, Seed: 7})
+	b := mustSim(t, p, cfg, Options{Batch: 16, Jitter: 0.02, Seed: 7})
+	if a.Exec != b.Exec || a.Events != b.Events {
+		t.Errorf("same seed diverged: %.6f/%d vs %.6f/%d", a.Exec, a.Events, b.Exec, b.Events)
+	}
+	c := mustSim(t, p, cfg, Options{Batch: 16, Jitter: 0.02, Seed: 8})
+	if a.Exec == c.Exec {
+		t.Error("different seeds produced identical jittered runs")
+	}
+}
+
+func TestJitterIsSmall(t *testing.T) {
+	p := platform.QuadCore()
+	cfg := core.Config{Implementation: core.SharedIndex, Extractors: 3, Updaters: 1}
+	base := mustSim(t, p, cfg, Options{Batch: 16}).Exec
+	for seed := int64(1); seed <= 5; seed++ {
+		jit := mustSim(t, p, cfg, Options{Batch: 16, Jitter: 0.01, Seed: seed}).Exec
+		if math.Abs(jit-base)/base > 0.05 {
+			t.Errorf("seed %d: jittered run %.2f vs base %.2f", seed, jit, base)
+		}
+	}
+}
+
+func TestBatchSizeInsensitivity(t *testing.T) {
+	// Model results must not depend materially on the fidelity knob.
+	p := platform.Xeon8()
+	cfg := core.Config{Implementation: core.ReplicatedSearch, Extractors: 6, Updaters: 2}
+	coarse := mustSim(t, p, cfg, Options{Batch: 64}).Exec
+	fine := mustSim(t, p, cfg, Options{Batch: 4}).Exec
+	if math.Abs(coarse-fine)/fine > 0.05 {
+		t.Errorf("batch 64 → %.2f, batch 4 → %.2f (>5%% apart)", coarse, fine)
+	}
+}
+
+// TestTable2Shape: on the 4-core machine all three implementations are
+// equivalent (within a few percent) and reach ≈4.7× over the paper's
+// sequential baseline.
+func TestTable2Shape(t *testing.T) {
+	p := platform.QuadCore()
+	opt := Options{Batch: 16}
+	seq, _ := SequentialBaseline(p, paperStats(), opt)
+	e1 := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 3, Updaters: 1}, opt).Exec
+	e2 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 3, Updaters: 2, Joiners: 1}, opt).Exec
+	e3 := mustSim(t, p, core.Config{Implementation: core.ReplicatedSearch, Extractors: 3, Updaters: 2}, opt).Exec
+
+	for _, tc := range []struct {
+		name        string
+		exec, paper float64
+	}{
+		{"Impl1", e1, 46.7}, {"Impl2", e2, 46.9}, {"Impl3", e3, 46.4},
+	} {
+		if math.Abs(tc.exec-tc.paper)/tc.paper > 0.15 {
+			t.Errorf("4-core %s: %.1fs, paper %.1fs", tc.name, tc.exec, tc.paper)
+		}
+	}
+	// Near-equivalence: max/min within 10%.
+	lo := math.Min(e1, math.Min(e2, e3))
+	hi := math.Max(e1, math.Max(e2, e3))
+	if hi/lo > 1.10 {
+		t.Errorf("4-core implementations should be equivalent: %.1f/%.1f/%.1f", e1, e2, e3)
+	}
+	if sp := seq / e3; sp < 4.0 || sp > 5.5 {
+		t.Errorf("4-core speed-up %.2f, paper ≈4.7", sp)
+	}
+}
+
+// TestTable3Shape: on the 8-core machine the disk floor caps speed-ups near
+// 2 and the ordering is Impl1 slowest, Impl3 fastest.
+func TestTable3Shape(t *testing.T) {
+	p := platform.Xeon8()
+	opt := Options{Batch: 16}
+	seq, _ := SequentialBaseline(p, paperStats(), opt)
+	e1 := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 3, Updaters: 2}, opt).Exec
+	e2 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 6, Updaters: 2, Joiners: 1}, opt).Exec
+	e3 := mustSim(t, p, core.Config{Implementation: core.ReplicatedSearch, Extractors: 6, Updaters: 2}, opt).Exec
+
+	if !(e1 > e2 && e2 > e3) {
+		t.Errorf("8-core ordering broken: I1=%.1f I2=%.1f I3=%.1f (want I1>I2>I3)", e1, e2, e3)
+	}
+	for _, tc := range []struct {
+		name        string
+		exec, paper float64
+	}{
+		{"Impl1", e1, 59.5}, {"Impl2", e2, 57.7}, {"Impl3", e3, 49.5},
+	} {
+		if math.Abs(tc.exec-tc.paper)/tc.paper > 0.15 {
+			t.Errorf("8-core %s: %.1fs, paper %.1fs", tc.name, tc.exec, tc.paper)
+		}
+	}
+	if sp := seq / e3; sp < 1.8 || sp > 2.4 {
+		t.Errorf("8-core best speed-up %.2f, paper 2.12", sp)
+	}
+}
+
+// TestTable4Shape: on the 32-core machine the gaps widen — Impl1 ≈1.96×,
+// Impl2 ≈2.47×, Impl3 ≈3.5×.
+func TestTable4Shape(t *testing.T) {
+	p := platform.Manycore32()
+	opt := Options{Batch: 16}
+	seq, _ := SequentialBaseline(p, paperStats(), opt)
+	e1 := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 8, Updaters: 4}, opt).Exec
+	e2 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 4, Joiners: 1}, opt).Exec
+	e3 := mustSim(t, p, core.Config{Implementation: core.ReplicatedSearch, Extractors: 9, Updaters: 4}, opt).Exec
+
+	if !(e1 > e2 && e2 > e3) {
+		t.Errorf("32-core ordering broken: I1=%.1f I2=%.1f I3=%.1f", e1, e2, e3)
+	}
+	s1, s2, s3 := seq/e1, seq/e2, seq/e3
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want)/want > 0.20 {
+			t.Errorf("32-core %s speed-up %.2f, paper %.2f", name, got, want)
+		}
+	}
+	check("Impl1", s1, 1.96)
+	check("Impl2", s2, 2.47)
+	check("Impl3", s3, 3.50)
+	// The headline factor: Impl3 beats Impl1 by ≈1.8×.
+	if ratio := e1 / e3; ratio < 1.4 || ratio > 2.2 {
+		t.Errorf("Impl1/Impl3 exec ratio %.2f, paper ≈1.79", ratio)
+	}
+}
+
+// TestSharedIndexLockBound: on the 32-core machine Implementation 1 cannot
+// be fixed by more threads — the serialized shared-index updates are the
+// bottleneck.
+func TestSharedIndexLockBound(t *testing.T) {
+	p := platform.Manycore32()
+	opt := Options{Batch: 16}
+	small := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 8, Updaters: 4}, opt).Exec
+	big := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 16, Updaters: 8}, opt).Exec
+	if big < small*0.95 {
+		t.Errorf("doubling threads 'fixed' the lock bottleneck: %.1f → %.1f", small, big)
+	}
+}
+
+// TestDiskFloorOn8Core: no configuration of Implementation 3 on the 8-core
+// machine beats the sequential disk time — the paper's I/O-bound finding.
+func TestDiskFloorOn8Core(t *testing.T) {
+	p := platform.Xeon8()
+	c := p.UnitCosts(paperStats())
+	floor := c.DiskSeqSeconds // depth-1 disk: no parallel speedup of I/O
+	for _, x := range []int{2, 6, 12} {
+		exec := mustSim(t, p, core.Config{Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2}, Options{Batch: 16}).Exec
+		if exec < floor {
+			t.Errorf("x=%d: exec %.1f beat the %.1f disk floor", x, exec, floor)
+		}
+	}
+}
+
+func TestJoinCostScalesWithReplicas(t *testing.T) {
+	p := platform.Manycore32()
+	opt := Options{Batch: 16}
+	j2 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 2, Joiners: 1}, opt)
+	j8 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 8, Joiners: 1}, opt)
+	if j2.Join <= 0 || j8.Join <= 0 {
+		t.Fatalf("join not timed: %v %v", j2.Join, j8.Join)
+	}
+	// More replicas → more merge passes over the postings.
+	if j8.Join <= j2.Join {
+		t.Errorf("8-replica join %.2fs not slower than 2-replica %.2fs", j8.Join, j2.Join)
+	}
+}
+
+func TestParallelJoinFasterThanSingle(t *testing.T) {
+	p := platform.Manycore32()
+	opt := Options{Batch: 16}
+	z1 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 8, Joiners: 1}, opt)
+	z4 := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 8, Joiners: 4}, opt)
+	if z4.Join >= z1.Join {
+		t.Errorf("parallel join (%.2fs) not faster than single joiner (%.2fs)", z4.Join, z1.Join)
+	}
+}
+
+func TestReplicatedSearchSkipsJoin(t *testing.T) {
+	p := platform.QuadCore()
+	res := mustSim(t, p, core.Config{Implementation: core.ReplicatedSearch, Extractors: 4, Updaters: 2}, Options{Batch: 16})
+	if res.Join != 0 {
+		t.Errorf("Implementation 3 joined: %.2fs", res.Join)
+	}
+}
+
+func TestPhaseTimesSumToExec(t *testing.T) {
+	p := platform.Xeon8()
+	res := mustSim(t, p, core.Config{Implementation: core.ReplicatedJoin, Extractors: 4, Updaters: 2, Joiners: 1}, Options{Batch: 16})
+	sum := res.FilenameGen + res.ExtractUpdate + res.Join
+	if math.Abs(sum-res.Exec)/res.Exec > 0.01 {
+		t.Errorf("phases %.2f+%.2f+%.2f = %.2f ≠ exec %.2f",
+			res.FilenameGen, res.ExtractUpdate, res.Join, sum, res.Exec)
+	}
+	if res.CoreBusy <= 0 || res.DiskBusy <= 0 || res.Events == 0 {
+		t.Errorf("resource accounting empty: %+v", res)
+	}
+}
+
+// TestResourceConservation: busy-seconds can never exceed capacity ×
+// elapsed time, for any platform, implementation, and thread tuple.
+func TestResourceConservation(t *testing.T) {
+	cs := paperStats()
+	for _, p := range platform.All() {
+		for _, cfg := range []core.Config{
+			{Implementation: core.Sequential},
+			{Implementation: core.SharedIndex, Extractors: p.Cores, Updaters: 4},
+			{Implementation: core.ReplicatedJoin, Extractors: 2 * p.Cores, Updaters: 8, Joiners: 4},
+			{Implementation: core.ReplicatedSearch, Extractors: 3, Updaters: 2},
+		} {
+			res, err := Simulate(p, cs, cfg, Options{Batch: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CoreBusy > res.Exec*float64(p.Cores)*1.0001 {
+				t.Errorf("%s %s %s: core busy %.1f > %.1f possible",
+					p.Name, cfg.Implementation, cfg.Tuple(), res.CoreBusy, res.Exec*float64(p.Cores))
+			}
+			if res.DiskBusy > res.Exec*float64(p.DiskDepth)*1.0001 {
+				t.Errorf("%s %s %s: disk busy %.1f > %.1f possible",
+					p.Name, cfg.Implementation, cfg.Tuple(), res.DiskBusy, res.Exec*float64(p.DiskDepth))
+			}
+			// Total work is conserved: the disk must serve at least the
+			// sequential disk service time regardless of configuration.
+			c := p.UnitCosts(cs)
+			if res.DiskBusy < c.DiskSeqSeconds*0.99 {
+				t.Errorf("%s %s: disk busy %.1f < sequential service %.1f",
+					p.Name, cfg.Tuple(), res.DiskBusy, c.DiskSeqSeconds)
+			}
+		}
+	}
+}
+
+// TestMoreExtractorsNeverLoseWorkConservation: whatever the thread count,
+// the simulated run must take at least the critical-path lower bound
+// (total CPU work / cores) and at most the sequential time.
+func TestExecBounds(t *testing.T) {
+	cs := paperStats()
+	p := platform.QuadCore()
+	seqRes, err := Simulate(p, cs, core.Config{Implementation: core.Sequential}, Options{Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x <= 8; x++ {
+		res, err := Simulate(p, cs, core.Config{
+			Implementation: core.ReplicatedSearch, Extractors: x, Updaters: 2,
+		}, Options{Batch: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lower bound: even perfect parallelism cannot beat total base CPU
+		// work spread over all cores (contention only adds to it).
+		c := p.UnitCosts(cs)
+		baseCPU := (c.ReadCPUPerByte+c.ExtractCPUPerByte)*float64(cs.TotalBytes) +
+			c.InsertPerUnique*float64(cs.TotalUnique)
+		lower := baseCPU / float64(p.Cores)
+		if res.Exec < lower {
+			t.Errorf("x=%d: exec %.1f beats CPU lower bound %.1f", x, res.Exec, lower)
+		}
+		// Upper bound: parallel never slower than 1.2× sequential here.
+		if res.Exec > seqRes.Exec*1.2 {
+			t.Errorf("x=%d: exec %.1f much slower than sequential %.1f", x, res.Exec, seqRes.Exec)
+		}
+	}
+}
+
+func TestSimulateRejectsBadInputs(t *testing.T) {
+	good := core.Config{Implementation: core.SharedIndex, Extractors: 2}
+	if _, err := Simulate(platform.Profile{}, paperStats(), good, Options{}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := Simulate(platform.QuadCore(), corpus.Stats{}, good, Options{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Simulate(platform.QuadCore(), paperStats(), core.Config{Implementation: core.Implementation(9)}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBufferBackpressure(t *testing.T) {
+	// A tiny buffer with one slow updater must stretch the run: the
+	// extractors block on the full buffer.
+	p := platform.Manycore32()
+	fast := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 8, Updaters: 4, Buffer: 64}, Options{Batch: 16})
+	tight := mustSim(t, p, core.Config{Implementation: core.SharedIndex, Extractors: 8, Updaters: 1, Buffer: 1}, Options{Batch: 16})
+	if tight.Exec < fast.Exec {
+		t.Errorf("tight buffer run (%.1f) beat roomy run (%.1f)", tight.Exec, fast.Exec)
+	}
+}
+
+func BenchmarkSimulate32Core(b *testing.B) {
+	cs := corpus.Describe(corpus.PaperSpec())
+	p := platform.Manycore32()
+	cfg := core.Config{Implementation: core.ReplicatedJoin, Extractors: 8, Updaters: 4, Joiners: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p, cs, cfg, Options{Batch: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

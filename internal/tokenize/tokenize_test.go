@@ -1,0 +1,248 @@
+package tokenize
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		opts Options
+		want []string
+	}{
+		{"hello world", Default, []string{"hello", "world"}},
+		{"", Default, nil},
+		{"   \t\n  ", Default, nil},
+		{"Hello, World!", Default, []string{"hello", "world"}},
+		{"foo-bar_baz", Default, []string{"foo", "bar", "baz"}},
+		{"x", Default, []string{"x"}},
+		{"a1b2", Default, []string{"a1b2"}},
+		{"2010 report", Default, []string{"2010", "report"}},
+		{"ALL CAPS", Default, []string{"all", "caps"}},
+		{"MixedCase Words", Default, []string{"mixedcase", "words"}},
+		{"trailing term", Default, []string{"trailing", "term"}},
+		{"ümlaut naïve", Default, []string{"mlaut", "na", "ve"}}, // non-ASCII split
+	}
+	for _, tc := range tests {
+		got := Terms([]byte(tc.in), tc.opts)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Terms(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScanMinLen(t *testing.T) {
+	got := Terms([]byte("a bb ccc dddd"), Options{MinLen: 3})
+	want := []string{"ccc", "dddd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MinLen=3: got %q, want %q", got, want)
+	}
+}
+
+func TestScanMaxLen(t *testing.T) {
+	got := Terms([]byte("short "+strings.Repeat("x", 100)+" end"), Options{MaxLen: 10})
+	want := []string{"short", "end"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MaxLen=10: got %q, want %q", got, want)
+	}
+}
+
+func TestScanDropDigits(t *testing.T) {
+	got := Terms([]byte("abc123def 456 xyz"), Options{DropDigits: true})
+	want := []string{"abc", "def", "xyz"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DropDigits: got %q, want %q", got, want)
+	}
+}
+
+func TestScanStopwords(t *testing.T) {
+	stop := NewStopSet([]string{"the", "of"})
+	got := Terms([]byte("The index of the files"), Options{Stopwords: stop})
+	want := []string{"index", "files"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stopwords: got %q, want %q", got, want)
+	}
+}
+
+func TestStopSet(t *testing.T) {
+	s := NewStopSet(EnglishStopwords)
+	if s.Len() != len(EnglishStopwords) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(EnglishStopwords))
+	}
+	if !s.Contains("the") || s.Contains("zebra") {
+		t.Error("StopSet membership wrong")
+	}
+}
+
+// Property: scanning emits only lower-case ASCII alphanumeric terms within
+// the configured length bounds.
+func TestScanEmitsCanonicalTerms(t *testing.T) {
+	opts := Options{MinLen: 2, MaxLen: 16}
+	if err := quick.Check(func(data []byte) bool {
+		ok := true
+		Scan(data, opts, func(term string) {
+			if len(term) < 2 || len(term) > 16 {
+				ok = false
+			}
+			for i := 0; i < len(term); i++ {
+				c := term[i]
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scanning is idempotent — tokenizing the join of the output
+// yields the same terms.
+func TestScanIdempotent(t *testing.T) {
+	if err := quick.Check(func(data []byte) bool {
+		first := Terms(data, Default)
+		rejoined := strings.Join(first, " ")
+		second := Terms([]byte(rejoined), Default)
+		return reflect.DeepEqual(first, second)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the streaming Scanner agrees with the one-shot Scan for every
+// input and option set.
+func TestScannerMatchesScan(t *testing.T) {
+	optsList := []Options{
+		Default,
+		{MinLen: 3},
+		{MaxLen: 5},
+		{DropDigits: true},
+		{MinLen: 2, MaxLen: 8, DropDigits: true},
+	}
+	if err := quick.Check(func(data []byte, optIdx uint8) bool {
+		opts := optsList[int(optIdx)%len(optsList)]
+		want := Terms(data, opts)
+		sc := NewScanner(bytes.NewReader(data), opts)
+		got, err := sc.All()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScannerStopwordsMatchScan(t *testing.T) {
+	stop := NewStopSet([]string{"the", "and"})
+	opts := Options{Stopwords: stop}
+	in := []byte("the cat and the dog and then some")
+	want := Terms(in, opts)
+	sc := NewScanner(bytes.NewReader(in), opts)
+	got, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scanner %q, scan %q", got, want)
+	}
+}
+
+func TestScannerEOFWithTrailingTerm(t *testing.T) {
+	sc := NewScanner(strings.NewReader("last"), Default)
+	term, err := sc.Next()
+	if err != nil || term != "last" {
+		t.Fatalf("Next = %q,%v", term, err)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("second Next err = %v, want EOF", err)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF err = %v, want EOF", err)
+	}
+}
+
+func TestScannerTrailingSeparators(t *testing.T) {
+	sc := NewScanner(strings.NewReader("one two   \n\t "), Default)
+	got, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"one", "two"}) {
+		t.Errorf("got %q", got)
+	}
+}
+
+type failReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if len(f.data) > 0 {
+		n := copy(p, f.data)
+		f.data = f.data[n:]
+		return n, nil
+	}
+	return 0, f.err
+}
+
+func TestScannerPropagatesReadError(t *testing.T) {
+	wantErr := errors.New("disk on fire")
+	sc := NewScanner(&failReader{data: []byte("partial te"), err: wantErr}, Default)
+	if term, err := sc.Next(); err != nil || term != "partial" {
+		t.Fatalf("Next = %q,%v", term, err)
+	}
+	_, err := sc.Next()
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Error is sticky.
+	if _, err := sc.Next(); !errors.Is(err, wantErr) {
+		t.Fatalf("sticky err = %v", err)
+	}
+}
+
+func TestScanLargeInputTermCount(t *testing.T) {
+	// A deterministic synthetic "document": 10k terms.
+	var sb strings.Builder
+	for i := 0; i < 10000; i++ {
+		sb.WriteString("word")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteByte(' ')
+	}
+	terms := Terms([]byte(sb.String()), Default)
+	if len(terms) != 10000 {
+		t.Errorf("got %d terms, want 10000", len(terms))
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	data := bytes.Repeat([]byte("The Quick brown FOX jumps over the lazy dog 42 times. "), 1000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Scan(data, Default, func(string) {})
+	}
+}
+
+func BenchmarkScannerStreaming(b *testing.B) {
+	data := bytes.Repeat([]byte("The Quick brown FOX jumps over the lazy dog 42 times. "), 1000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := NewScanner(bytes.NewReader(data), Default)
+		for {
+			if _, err := sc.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package walk
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"desksearch/internal/corpus"
+	"desksearch/internal/vfs"
+)
+
+func buildTree(t *testing.T) *vfs.MemFS {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	files := map[string]int{
+		"a.txt":           5,
+		"docs/b.txt":      10,
+		"docs/c.txt":      15,
+		"docs/deep/d.txt": 20,
+		"src/e.go":        25,
+		"zz/f.txt":        30,
+	}
+	for name, size := range files {
+		if err := fs.WriteFile(name, make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An empty directory must be traversed without error.
+	if err := fs.MkdirAll("empty-dir"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestListFindsEverything(t *testing.T) {
+	files, err := List(buildTree(t), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FileRef{
+		{Path: "a.txt", Size: 5},
+		{Path: "docs/b.txt", Size: 10},
+		{Path: "docs/c.txt", Size: 15},
+		{Path: "docs/deep/d.txt", Size: 20},
+		{Path: "src/e.go", Size: 25},
+		{Path: "zz/f.txt", Size: 30},
+	}
+	if !reflect.DeepEqual(files, want) {
+		t.Errorf("List = %+v, want %+v", files, want)
+	}
+}
+
+func TestListSubtree(t *testing.T) {
+	files, err := List(buildTree(t), "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("subtree list = %+v", files)
+	}
+	for _, f := range files {
+		if f.Path[:5] != "docs/" {
+			t.Errorf("file outside subtree: %s", f.Path)
+		}
+	}
+}
+
+func TestListDeterministic(t *testing.T) {
+	fs := buildTree(t)
+	a, _ := List(fs, ".")
+	b, _ := List(fs, ".")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("List not deterministic")
+	}
+}
+
+func TestListMissingRoot(t *testing.T) {
+	if _, err := List(buildTree(t), "no-such-dir"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestListParallelMatchesSequential(t *testing.T) {
+	// Use a realistic corpus tree: hundreds of files over nested dirs.
+	fs := vfs.NewMemFS()
+	spec := corpus.SmallSpec()
+	spec.Files = 300
+	if _, err := corpus.Generate(spec, fs); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := List(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedSeq := append([]FileRef{}, seq...)
+	sort.Slice(sortedSeq, func(i, j int) bool { return sortedSeq[i].Path < sortedSeq[j].Path })
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := ListParallel(fs, ".", workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, sortedSeq) {
+			t.Fatalf("workers=%d: parallel walk differs (%d vs %d files)",
+				workers, len(par), len(sortedSeq))
+		}
+	}
+}
+
+func TestListParallelMissingRoot(t *testing.T) {
+	if _, err := ListParallel(buildTree(t), "nope", 4); err == nil {
+		t.Error("missing root not reported")
+	}
+}
+
+func TestListParallelZeroWorkers(t *testing.T) {
+	files, err := ListParallel(buildTree(t), ".", 0)
+	if err != nil || len(files) != 6 {
+		t.Errorf("clamped workers: %d files, %v", len(files), err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	files, _ := List(buildTree(t), ".")
+	if got := TotalBytes(files); got != 105 {
+		t.Errorf("TotalBytes = %d, want 105", got)
+	}
+	if TotalBytes(nil) != 0 {
+		t.Error("TotalBytes(nil) != 0")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]FileRef{{Path: "a"}, {Path: "b"}}) {
+		t.Error("sorted reported unsorted")
+	}
+	if IsSorted([]FileRef{{Path: "b"}, {Path: "a"}}) {
+		t.Error("unsorted reported sorted")
+	}
+}
+
+func TestListOnCorpusCountsMatchSpec(t *testing.T) {
+	fs := vfs.NewMemFS()
+	spec := corpus.SmallSpec()
+	stats, err := corpus.Generate(spec, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := List(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(stats.Files) {
+		t.Errorf("walk found %d files, corpus wrote %d", len(files), len(stats.Files))
+	}
+}
+
+func BenchmarkListSequential(b *testing.B) {
+	fs := vfs.NewMemFS()
+	spec := corpus.PaperSpec().Scale(1.0 / 64)
+	spec.TotalBytes = 1 << 20 // metadata walk: sizes don't matter
+	if _, err := corpus.Generate(spec, fs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := List(fs, "."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListParallel4(b *testing.B) {
+	fs := vfs.NewMemFS()
+	spec := corpus.PaperSpec().Scale(1.0 / 64)
+	spec.TotalBytes = 1 << 20
+	if _, err := corpus.Generate(spec, fs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ListParallel(fs, ".", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
