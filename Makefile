@@ -1,0 +1,29 @@
+# Local targets mirroring .github/workflows/ci.yml exactly, so `make ci`
+# reproduces what CI runs.
+
+GO ?= go
+
+.PHONY: build test vet fmt bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# One iteration per benchmark: compile-and-run proof, no measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build vet fmt test bench

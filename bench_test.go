@@ -35,6 +35,7 @@ import (
 	"desksearch/internal/platform"
 	"desksearch/internal/postings"
 	"desksearch/internal/search"
+	"desksearch/internal/shard"
 	"desksearch/internal/simmodel"
 	"desksearch/internal/tokenize"
 	"desksearch/internal/vfs"
@@ -406,6 +407,79 @@ func BenchmarkAblationParallelSearch(b *testing.B) {
 			multiPar.Search(query)
 		}
 	})
+}
+
+// ---- sharded fan-out search and codec ----
+
+// shardCounts is the sweep the sharding benchmarks compare.
+var shardCounts = []int{1, 2, 4, 8}
+
+// buildShards builds an n-shard set over the live corpus.
+func buildShards(b *testing.B, n int) *core.Result {
+	b.Helper()
+	res, err := core.Run(liveCorpus(b), ".", core.Config{
+		Implementation: core.ReplicatedSearch, Extractors: 4, Updaters: 4, Shards: n,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkShardedSearch measures fan-out query latency across shard
+// counts: 1 shard is the single-index baseline the fan-out overhead and
+// speed-up are judged against.
+func BenchmarkShardedSearch(b *testing.B) {
+	vocab := corpus.BuildVocabulary(corpus.PaperSpec().Scale(1.0 / 128))
+	query := search.MustParse(fmt.Sprintf("%s OR %s OR (%s -%s)", vocab[0], vocab[1], vocab[2], vocab[3]))
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			res := buildShards(b, n)
+			eng := search.NewEngine(res.Files, res.Shards.Shards()...)
+			eng.Search(query) // warm the per-shard universes
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Search(query)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSave measures parallel segment writing (one goroutine per
+// shard) across shard counts.
+func BenchmarkShardedSave(b *testing.B) {
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			res := buildShards(b, n)
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := shard.SaveDir(dir, res.Shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedLoad measures parallel segment loading and checksum
+// verification across shard counts.
+func BenchmarkShardedLoad(b *testing.B) {
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			res := buildShards(b, n)
+			dir := b.TempDir()
+			if err := shard.SaveDir(dir, res.Shards); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.LoadDir(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---- facade benchmark ----

@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	dsearch -index FILE  QUERY...
-//	dsearch -root DIR [-formats]  QUERY...
+//	dsearch -index PATH  QUERY...
+//	dsearch -root DIR [-shards N] [-formats]  QUERY...
+//
+// -index accepts either a single index file or a sharded index directory
+// (a manifest plus segments, as written by indexgen -shards); -shards
+// partitions an on-the-fly index for parallel fan-out search.
 //
 // Queries are boolean: terms AND together, OR/NOT (or a leading '-')
 // and parentheses work as expected: "quarterly report -draft".
@@ -21,15 +25,16 @@ import (
 
 func main() {
 	var (
-		indexFile = flag.String("index", "", "read a saved index from this file")
+		indexPath = flag.String("index", "", "read a saved index from this file or sharded directory")
 		root      = flag.String("root", "", "index this directory before searching")
+		shards    = flag.Int("shards", 0, "with -root, partition the index into N document shards")
 		formats   = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
 		limit     = flag.Int("n", 20, "maximum results to print")
 		top       = flag.Int("top", 0, "print the N most frequent terms instead of searching")
 	)
 	flag.Parse()
-	if (flag.NArg() == 0 && *top == 0) || (*indexFile == "") == (*root == "") {
-		fmt.Fprintln(os.Stderr, "usage: dsearch (-index FILE | -root DIR) [-top N] QUERY...")
+	if (flag.NArg() == 0 && *top == 0) || (*indexPath == "") == (*root == "") {
+		fmt.Fprintln(os.Stderr, "usage: dsearch (-index PATH | -root DIR) [-top N] QUERY...")
 		os.Exit(2)
 	}
 
@@ -37,15 +42,11 @@ func main() {
 		cat *desksearch.Catalog
 		err error
 	)
-	if *indexFile != "" {
-		f, ferr := os.Open(*indexFile)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		cat, err = desksearch.Load(f)
-		f.Close()
-	} else {
-		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats})
+	switch {
+	case *indexPath != "":
+		cat, err = loadIndex(*indexPath)
+	default:
+		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats, Shards: *shards})
 	}
 	if err != nil {
 		fatal(err)
@@ -78,6 +79,24 @@ func main() {
 		}
 		fmt.Printf("%4d. %s\n", h.Score, h.Path)
 	}
+}
+
+// loadIndex reads a catalog from path: a sharded index directory when path
+// is a directory, a single index file otherwise.
+func loadIndex(path string) (*desksearch.Catalog, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return desksearch.LoadDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return desksearch.Load(f)
 }
 
 func fatal(err error) {

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	indexgen -root DIR [-impl seq|shared|join|nojoin] [-x N -y N -z N]
-//	         [-formats] [-save FILE] [-stages]
+//	         [-shards N] [-formats] [-save PATH] [-stages]
+//
+// With -shards N the index is partitioned into N document shards and
+// -save PATH writes the sharded layout (a checksummed manifest plus one
+// segment file per shard) into the directory PATH; without -shards, -save
+// writes a single index file.
 //
 // With -stages it instead reproduces the paper's Table 1 methodology on
 // the live directory: isolated sequential timings of filename generation,
@@ -30,8 +35,9 @@ func main() {
 		x       = flag.Int("x", 0, "term-extraction threads (0 = auto)")
 		y       = flag.Int("y", 0, "index-update threads")
 		z       = flag.Int("z", 0, "index-join threads (join only)")
+		shards  = flag.Int("shards", 0, "partition the index into N document shards (0 = off)")
 		formats = flag.Bool("formats", false, "strip HTML/WP markup before indexing")
-		save    = flag.String("save", "", "write the built index to this file")
+		save    = flag.String("save", "", "write the built index to this path (a directory with -shards)")
 		stages  = flag.Bool("stages", false, "measure isolated sequential stage times (paper Table 1) and exit")
 	)
 	flag.Parse()
@@ -63,6 +69,7 @@ func main() {
 		Extractors:     *x,
 		Updaters:       *y,
 		Joiners:        *z,
+		Shards:         *shards,
 		Formats:        *formats,
 	})
 	if err != nil {
@@ -70,13 +77,23 @@ func main() {
 	}
 
 	s := cat.Stats()
-	fGen, eu, join, total := cat.Timings()
+	fGen, eu, join, shardT, total := cat.Timings()
 	fmt.Printf("indexed %d files: %d terms, %d postings (%d indices, %d skipped)\n",
 		s.Files, s.Terms, s.Postings, cat.Indices(), s.Skipped)
-	fmt.Printf("filename generation: %.3fs   extract+update: %.3fs   join: %.3fs   total: %.3fs\n",
-		fGen, eu, join, total)
+	if n := cat.Shards(); n > 0 {
+		fmt.Printf("sharded into %d document partitions\n", n)
+	}
+	fmt.Printf("filename generation: %.3fs   extract+update: %.3fs   join: %.3fs   shard: %.3fs   total: %.3fs\n",
+		fGen, eu, join, shardT, total)
 
 	if *save != "" {
+		if *shards > 0 {
+			if err := cat.SaveDir(*save); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index saved to %s/ (manifest + %d segments)\n", *save, cat.Shards())
+			return
+		}
 		f, err := os.Create(*save)
 		if err != nil {
 			fatal(err)

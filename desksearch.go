@@ -10,6 +10,7 @@ import (
 	"desksearch/internal/extract"
 	"desksearch/internal/index"
 	"desksearch/internal/search"
+	"desksearch/internal/shard"
 	"desksearch/internal/tokenize"
 	"desksearch/internal/vfs"
 )
@@ -46,6 +47,10 @@ type Options struct {
 	Stopwords []string
 	// MinTermLen drops terms shorter than this many bytes (0 = keep all).
 	MinTermLen int
+	// Shards, when positive, partitions the catalog into that many
+	// document shards, searched with parallel fan-out and saved with
+	// SaveDir as a manifest plus one segment file per shard.
+	Shards int
 }
 
 func (o Options) coreConfig() (core.Config, error) {
@@ -53,6 +58,7 @@ func (o Options) coreConfig() (core.Config, error) {
 		Extractors:   o.Extractors,
 		Updaters:     o.Updaters,
 		Joiners:      o.Joiners,
+		Shards:       o.Shards,
 		Distribution: distribute.RoundRobin,
 	}
 	tok := tokenize.Default
@@ -171,15 +177,26 @@ func (c *Catalog) Stats() Stats {
 	}
 }
 
-// Indices reports how many indices answer queries (1, or the replica count
-// for ReplicatedSearch).
+// Indices reports how many indices answer queries (1, or the replica or
+// shard count for partitioned catalogs).
 func (c *Catalog) Indices() int { return c.engine.Indices() }
 
+// Shards reports how many document shards the catalog holds; 0 for
+// unsharded catalogs.
+func (c *Catalog) Shards() int {
+	if c.result.Shards == nil {
+		return 0
+	}
+	return c.result.Shards.Len()
+}
+
 // Timings returns the pipeline phase durations of the build, in seconds:
-// filename generation, extraction+update, join, and total.
-func (c *Catalog) Timings() (filenameGen, extractUpdate, join, total float64) {
+// filename generation, extraction+update, join, shard-set construction,
+// and total.
+func (c *Catalog) Timings() (filenameGen, extractUpdate, join, shard, total float64) {
 	t := c.result.Timings
-	return t.FilenameGen.Seconds(), t.ExtractUpdate.Seconds(), t.Join.Seconds(), t.Total.Seconds()
+	return t.FilenameGen.Seconds(), t.ExtractUpdate.Seconds(), t.Join.Seconds(),
+		t.Shard.Seconds(), t.Total.Seconds()
 }
 
 // TermCount is a term with the number of files containing it.
@@ -214,17 +231,19 @@ func (c *Catalog) TopTerms(n int) []TermCount {
 	return out
 }
 
-// Save writes the catalog to w in the binary index format. Replica sets
-// are joined first — on copies, so the live catalog stays queryable — and
-// a saved catalog always reloads as a single index.
+// Save writes the catalog to w in the single-file binary index format.
+// Replica and shard sets are joined first — on copies, so the live catalog
+// stays queryable — and a saved catalog always reloads as a single index.
+// Use SaveDir to persist the partitions instead.
 func (c *Catalog) Save(w io.Writer) error {
 	ix := c.result.Index
 	if ix == nil {
-		replicas := make([]*index.Index, len(c.result.Replicas))
-		for i, r := range c.result.Replicas {
-			replicas[i] = r.Clone()
+		parts := c.result.Indexes()
+		clones := make([]*index.Index, len(parts))
+		for i, p := range parts {
+			clones[i] = p.Clone()
 		}
-		ix = index.JoinAll(replicas)
+		ix = index.JoinAll(clones)
 	}
 	return index.Save(w, ix, c.result.Files)
 }
@@ -239,5 +258,33 @@ func Load(r io.Reader) (*Catalog, error) {
 		Implementation: core.Sequential,
 		Files:          files,
 		Index:          ix,
+	}), nil
+}
+
+// SaveDir writes the catalog under dir in the sharded layout: a checksummed
+// manifest plus one segment file per shard, written in parallel. Catalogs
+// built without Options.Shards are saved with their existing partitions as
+// shards — replicas are document-disjoint, and a single index becomes a
+// one-segment layout — so any catalog can be saved this way.
+func (c *Catalog) SaveDir(dir string) error {
+	set := c.result.Shards
+	if set == nil {
+		set = shard.FromReplicas(c.result.Files, c.result.Indexes())
+	}
+	return shard.SaveDir(dir, set)
+}
+
+// LoadDir reads a sharded catalog previously written by SaveDir, loading
+// and verifying all segments in parallel. Queries fan out over the loaded
+// shards.
+func LoadDir(dir string) (*Catalog, error) {
+	set, err := shard.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newCatalog(&core.Result{
+		Implementation: core.ReplicatedSearch,
+		Files:          set.Files(),
+		Shards:         set,
 	}), nil
 }

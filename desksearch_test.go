@@ -149,9 +149,9 @@ func TestStats(t *testing.T) {
 	if s.Skipped != 0 {
 		t.Errorf("Skipped = %d", s.Skipped)
 	}
-	f, eu, j, tot := cat.Timings()
-	if f < 0 || eu <= 0 || j != 0 || tot <= 0 {
-		t.Errorf("timings = %v %v %v %v", f, eu, j, tot)
+	f, eu, j, sh, tot := cat.Timings()
+	if f < 0 || eu <= 0 || j != 0 || sh != 0 || tot <= 0 {
+		t.Errorf("timings = %v %v %v %v %v", f, eu, j, sh, tot)
 	}
 }
 
@@ -256,5 +256,101 @@ func TestSearchParseError(t *testing.T) {
 	}
 	if _, err := cat.Search("((("); err == nil {
 		t.Error("bad query accepted")
+	}
+}
+
+// TestShardedSearchMatchesSingleIndex is the sharding acceptance check: a
+// 4-shard catalog must return byte-identical hits — same paths, same
+// scores, same order — as the single sequential index over the same corpus.
+func TestShardedSearchMatchesSingleIndex(t *testing.T) {
+	single, err := IndexFS(demoFS(t), ".", Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := IndexFS(demoFS(t), ".", Options{Implementation: Sequential, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 4 || sharded.Indices() != 4 {
+		t.Fatalf("Shards = %d, Indices = %d, want 4", sharded.Shards(), sharded.Indices())
+	}
+	queries := []string{
+		"report", "milk", "quarterly report -draft", "milk OR report",
+		"quarterly (final OR draft)", "-milk", "report -quarterly",
+	}
+	for _, q := range queries {
+		a, err1 := single.Search(q)
+		b, err2 := sharded.Search(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%q: %v / %v", q, err1, err2)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%q: sharded hits differ:\nsingle:  %v\nsharded: %v", q, a, b)
+		}
+	}
+}
+
+// TestShardedBuildsAgreeAcrossImplementations runs every pipeline design
+// with shards on and checks they all answer like the unsharded sequential
+// build.
+func TestShardedBuildsAgreeAcrossImplementations(t *testing.T) {
+	reference, err := IndexFS(demoFS(t), ".", Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"report", "milk OR flour", "quarterly -draft"}
+	for _, impl := range []Implementation{Sequential, SharedIndex, ReplicatedJoin, ReplicatedSearch} {
+		cat, err := IndexFS(demoFS(t), ".", Options{Implementation: impl, Extractors: 3, Updaters: 2, Shards: 4})
+		if err != nil {
+			t.Fatalf("impl %d: %v", impl, err)
+		}
+		for _, q := range queries {
+			a, _ := reference.Search(q)
+			b, _ := cat.Search(q)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("impl %d %q: %v vs %v", impl, q, a, b)
+			}
+		}
+	}
+}
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	cases := []Options{
+		{Implementation: Sequential, Shards: 4},
+		{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 2, Shards: 2},
+		// Unsharded catalogs save their partitions as shards.
+		{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 2},
+		{Implementation: Sequential},
+	}
+	for _, opt := range cases {
+		cat, err := IndexFS(demoFS(t), ".", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := cat.SaveDir(dir); err != nil {
+			t.Fatalf("%+v: SaveDir: %v", opt, err)
+		}
+		loaded, err := LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%+v: LoadDir: %v", opt, err)
+		}
+		for _, q := range []string{"report", "milk OR flour", "quarterly -draft"} {
+			a, _ := cat.Search(q)
+			b, _ := loaded.Search(q)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%+v %q: %v vs %v", opt, q, a, b)
+			}
+		}
+		// The saved catalog must stay queryable (SaveDir reads, not moves).
+		if _, err := cat.Search("report"); err != nil {
+			t.Errorf("catalog broken after SaveDir: %v", err)
+		}
+	}
+}
+
+func TestLoadDirRejectsMissing(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
 	}
 }

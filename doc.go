@@ -23,6 +23,17 @@
 //		fmt.Println(h.Path)
 //	}
 //
+// # Sharded indexes
+//
+// Options.Shards partitions the catalog into document shards: every
+// posting of a given file lives in exactly one shard, chosen by an FNV-1
+// hash of its FileID (ReplicatedSearch replicas matching the shard count
+// are adopted directly — they already partition by document). Queries fan
+// out with one goroutine per shard and merge the per-shard ranked hits, so
+// a sharded catalog answers exactly like the equivalent single index.
+// Catalog.SaveDir persists the shards as a checksummed manifest plus one
+// segment file per shard, written and reloaded (LoadDir) in parallel.
+//
 // The experiment harness that regenerates the paper's Tables 1–4 on
 // simulated 4-, 8-, and 32-core machines lives in cmd/experiments; see
 // DESIGN.md for the system inventory and EXPERIMENTS.md for

@@ -62,7 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, eu, join, total := cat.Timings()
+		_, eu, join, _, total := cat.Timings()
 		hits, err := cat.Search(query)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,3 @@
+module desksearch
+
+go 1.24

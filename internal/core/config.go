@@ -77,6 +77,13 @@ type Config struct {
 	// WorkStealing replaces the static distribution with per-extractor
 	// deques and stealing (the paper's fourth considered option).
 	WorkStealing bool
+	// Shards, when positive, partitions the run's output into that many
+	// document shards (a shard.Set in Result.Shards) instead of a single
+	// index or replica slice. ReplicatedSearch replicas whose count equals
+	// Shards become shards directly, with no join or redistribution pass;
+	// every other combination splits by FileID hash. For ReplicatedJoin
+	// the shard build replaces the join phase entirely.
+	Shards int
 	// Extract configures term extraction.
 	Extract extract.Options
 }
@@ -138,6 +145,9 @@ func (c Config) Validate() error {
 	}
 	if c.Extractors < 0 || c.Updaters < 0 || c.Joiners < 0 || c.Buffer < 0 {
 		return fmt.Errorf("core: negative thread count in %s", c.Tuple())
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
 	switch c.Distribution {
 	case distribute.RoundRobin, distribute.BySize, distribute.Chunked:

@@ -357,3 +357,48 @@ func TestMeasureStagesMissingRoot(t *testing.T) {
 		t.Error("missing root not reported")
 	}
 }
+
+// TestShardedRunsAgreeWithReference checks Config.Shards across every
+// implementation: joining the shard set back together must reproduce the
+// sequential reference index exactly, whichever path built the shards
+// (replica adoption, replica redistribution, or single-index hash split).
+func TestShardedRunsAgreeWithReference(t *testing.T) {
+	want := reference(t).Index
+	configs := []Config{
+		{Implementation: Sequential, Shards: 4},
+		{Implementation: SharedIndex, Extractors: 4, Shards: 4},
+		{Implementation: ReplicatedJoin, Extractors: 4, Updaters: 3, Shards: 4},
+		{Implementation: ReplicatedSearch, Extractors: 4, Updaters: 4, Shards: 4}, // adoption
+		{Implementation: ReplicatedSearch, Extractors: 4, Updaters: 3, Shards: 8}, // redistribution
+		{Implementation: ReplicatedSearch, Extractors: 2, Shards: 1},
+	}
+	for _, cfg := range configs {
+		res, err := Run(corpusFS(t), ".", cfg)
+		if err != nil {
+			t.Fatalf("%v %s shards=%d: %v", cfg.Implementation, cfg.Tuple(), cfg.Shards, err)
+		}
+		if res.Shards == nil || res.Shards.Len() != cfg.Shards {
+			t.Fatalf("%v shards=%d: Shards = %v", cfg.Implementation, cfg.Shards, res.Shards)
+		}
+		if res.Index != nil {
+			t.Errorf("%v shards=%d: Index should be nil on sharded runs", cfg.Implementation, cfg.Shards)
+		}
+		if got := len(res.Indexes()); got != cfg.Shards {
+			t.Errorf("%v shards=%d: Indexes() returned %d", cfg.Implementation, cfg.Shards, got)
+		}
+		clones := make([]*index.Index, res.Shards.Len())
+		for i, s := range res.Shards.Shards() {
+			clones[i] = s.Clone()
+		}
+		if !index.JoinAll(clones).Equal(want) {
+			t.Errorf("%v %s shards=%d: shard union differs from sequential reference",
+				cfg.Implementation, cfg.Tuple(), cfg.Shards)
+		}
+	}
+}
+
+func TestConfigValidateRejectsNegativeShards(t *testing.T) {
+	if err := (Config{Shards: -1}).Validate(); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"desksearch/internal/extract"
 	"desksearch/internal/index"
 	"desksearch/internal/postings"
+	"desksearch/internal/shard"
 	"desksearch/internal/vfs"
 	"desksearch/internal/walk"
 )
@@ -22,6 +23,9 @@ type Timings struct {
 	ExtractUpdate time.Duration
 	// Join is the final replica merge (ReplicatedJoin only).
 	Join time.Duration
+	// Shard is the shard-set build (Config.Shards > 0 only); zero when
+	// replicas were adopted as shards without a redistribution pass.
+	Shard time.Duration
 	// Total is end-to-end wall time.
 	Total time.Duration
 }
@@ -42,19 +46,26 @@ type Result struct {
 	// Files maps FileIDs to paths.
 	Files *index.FileTable
 	// Index is the single resulting index. For ReplicatedSearch it is nil
-	// when more than one replica was built — use Replicas.
+	// when more than one replica was built — use Replicas. For sharded
+	// runs (Config.Shards > 0) it is nil — use Shards.
 	Index *index.Index
 	// Replicas holds the unjoined indices of ReplicatedSearch.
 	Replicas []*index.Index
+	// Shards is the document-sharded partition set of the run's output
+	// when Config.Shards > 0.
+	Shards *shard.Set
 	// Timings is the phase breakdown.
 	Timings Timings
 	// SkippedFiles lists files that could not be read or extracted.
 	SkippedFiles []Skipped
 }
 
-// Indexes returns the result's indices: the joined/single index, or the
-// replicas for ReplicatedSearch.
+// Indexes returns the result's indices: the shards of a sharded run, the
+// joined/single index, or the replicas for ReplicatedSearch.
 func (r *Result) Indexes() []*index.Index {
+	if r.Shards != nil {
+		return r.Shards.Shards()
+	}
 	if r.Index != nil {
 		return []*index.Index{r.Index}
 	}
@@ -123,6 +134,18 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 		runPipeline(fsys, cfg, jobs, func(i int) blockSink { return directSink{ix: replicas[i]} }, res)
 		res.Timings.ExtractUpdate = time.Since(start23)
 		switch {
+		case cfg.Shards > 0:
+			// Sharding subsumes the join: shards build straight from the
+			// replicas, so ReplicatedJoin skips its merge pass entirely,
+			// and a replica count matching the shard count is adopted
+			// as-is — the zero-cost path ReplicatedSearch was built for.
+			if len(replicas) == cfg.Shards {
+				res.Shards = shard.FromReplicas(table, replicas)
+			} else {
+				startShard := time.Now()
+				res.Shards = shard.Distribute(table, replicas, cfg.Shards)
+				res.Timings.Shard = time.Since(startShard)
+			}
 		case cfg.Implementation == ReplicatedJoin:
 			startJoin := time.Now()
 			if cfg.Joiners > 1 {
@@ -136,6 +159,13 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 		default:
 			res.Replicas = replicas
 		}
+	}
+	if cfg.Shards > 0 && res.Shards == nil {
+		// Sequential and SharedIndex built one index; hash-split it.
+		startShard := time.Now()
+		res.Shards = shard.Distribute(table, []*index.Index{res.Index}, cfg.Shards)
+		res.Index = nil
+		res.Timings.Shard = time.Since(startShard)
 	}
 	res.Timings.Total = time.Since(startTotal)
 	return res, nil

@@ -5,102 +5,98 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 
 	"desksearch/internal/fnv"
 	"desksearch/internal/postings"
 )
 
-// The on-disk index format:
+// The DSIX on-disk family. All forms share the frame
 //
-//	magic "DSIX" | u16 version | uvarint fileCount
-//	fileCount × (uvarint pathLen | path bytes | uvarint size)
-//	uvarint termCount
-//	termCount × (uvarint termLen | term bytes | posting-list varint encoding)
-//	u64 FNV-1 checksum of everything above
+//	magic "DSIX" | u16 version | payload | u64 FNV-1 checksum of everything above
+//
+// and differ in the payload:
+//
+//	version 1 (full index):     file table | term section
+//	version 2 (shard segment):  term section only — the file table lives in
+//	                            the shard manifest (see internal/shard)
+//	version 3 (shard manifest): file table | segment directory, written and
+//	                            read by internal/shard over this package's
+//	                            exported frame helpers
+//
+// where the file table is
+//
+//	uvarint fileCount | fileCount × (uvarint pathLen | path bytes | uvarint size)
+//
+// and the term section is
+//
+//	uvarint termCount | termCount × (uvarint termLen | term bytes | posting-list varint encoding)
 //
 // A desktop search tool persists its index between sessions; this codec is
 // that persistence layer for cmd/indexgen and cmd/dsearch.
 
 const (
-	codecMagic   = "DSIX"
+	codecMagic = "DSIX"
+	// codecVersion is the full single-file form: file table + term section.
 	codecVersion = 1
+	// SegmentVersion is the shard segment form: the term section alone.
+	SegmentVersion = 2
+	// ManifestVersion is the shard manifest form (internal/shard).
+	ManifestVersion = 3
 	// maxCount bounds file/term/posting counts against corrupt headers.
 	maxCount = 1 << 31
 )
 
-// Save writes the index and its file table to w.
-func Save(w io.Writer, ix *Index, files *FileTable) error {
+// versionKind names each known version for error messages.
+func versionKind(v uint16) string {
+	switch v {
+	case codecVersion:
+		return "a full index file"
+	case SegmentVersion:
+		return "a shard segment"
+	case ManifestVersion:
+		return "a shard manifest"
+	default:
+		return "unsupported"
+	}
+}
+
+// EncodeFrame writes a DSIX frame to w: magic, version, the payload written
+// by body, and the FNV-1 checksum trailer over everything before it.
+func EncodeFrame(w io.Writer, version uint16, body func(*bufio.Writer) error) error {
 	h := fnv.New64()
 	bw := bufio.NewWriter(io.MultiWriter(w, h))
-
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
 	}
-	var scratch [binary.MaxVarintLen64]byte
-	writeUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], version)
+	if _, err := bw.Write(b[:]); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint16(scratch[:2], codecVersion)
-	if _, err := bw.Write(scratch[:2]); err != nil {
+	if err := body(bw); err != nil {
 		return err
 	}
-	if err := writeUvarint(uint64(files.Len())); err != nil {
-		return err
-	}
-	for id, path := range files.Paths() {
-		if err := writeUvarint(uint64(len(path))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(path); err != nil {
-			return err
-		}
-		if err := writeUvarint(uint64(files.Size(postings.FileID(id)))); err != nil {
-			return err
-		}
-	}
-	if err := writeUvarint(uint64(ix.NumTerms())); err != nil {
-		return err
-	}
-	var saveErr error
-	var buf []byte
-	ix.Range(func(term string, l *postings.List) bool {
-		if saveErr = writeUvarint(uint64(len(term))); saveErr != nil {
-			return false
-		}
-		if _, saveErr = bw.WriteString(term); saveErr != nil {
-			return false
-		}
-		buf = l.Encode(buf[:0])
-		if _, saveErr = bw.Write(buf); saveErr != nil {
-			return false
-		}
-		return true
-	})
-	if saveErr != nil {
-		return saveErr
-	}
-	// Flush the payload into the hash, then append the checksum trailer.
+	return finishPayload(w, bw, h)
+}
+
+// finishPayload flushes the buffered payload into the hash and appends the
+// checksum trailer directly to w.
+func finishPayload(w io.Writer, bw *bufio.Writer, h hash.Hash64) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(scratch[:8], h.Sum64())
-	if _, err := w.Write(scratch[:8]); err != nil {
-		return err
-	}
-	return nil
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], h.Sum64())
+	_, err := w.Write(b[:])
+	return err
 }
 
-// Load reads an index written by Save. It reads the whole stream into
-// memory first so the checksum can be verified over the exact payload
-// before any of it is trusted.
-func Load(r io.Reader) (*Index, *FileTable, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("index: reading: %w", err)
-	}
+// DecodeFrame verifies data's checksum trailer, magic, and version, and
+// returns a reader positioned at the payload body plus the full payload
+// slice (posting lists decode zero-copy from it).
+func DecodeFrame(data []byte, wantVersion uint16) (*bytes.Reader, []byte, error) {
 	if len(data) < len(codecMagic)+2+8 {
 		return nil, nil, fmt.Errorf("index: truncated (%d bytes)", len(data))
 	}
@@ -109,9 +105,8 @@ func Load(r io.Reader) (*Index, *FileTable, error) {
 	if got := fnv.Hash64Bytes(payload); got != want {
 		return nil, nil, fmt.Errorf("index: checksum mismatch: file %#x, computed %#x", want, got)
 	}
-
 	br := bytes.NewReader(payload)
-	magic := make([]byte, 4)
+	magic := make([]byte, len(codecMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, nil, fmt.Errorf("index: reading magic: %w", err)
 	}
@@ -122,65 +117,32 @@ func Load(r io.Reader) (*Index, *FileTable, error) {
 	if _, err := io.ReadFull(br, verBuf); err != nil {
 		return nil, nil, fmt.Errorf("index: reading version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(verBuf); v != codecVersion {
-		return nil, nil, fmt.Errorf("index: unsupported version %d", v)
+	if v := binary.LittleEndian.Uint16(verBuf); v != wantVersion {
+		return nil, nil, fmt.Errorf("index: version %d is %s, want %s",
+			v, versionKind(v), versionKind(wantVersion))
 	}
-
-	fileCount, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, nil, fmt.Errorf("index: reading file count: %w", err)
-	}
-	if fileCount > maxCount {
-		return nil, nil, fmt.Errorf("index: absurd file count %d", fileCount)
-	}
-	files := NewFileTable()
-	for i := uint64(0); i < fileCount; i++ {
-		path, err := readString(br)
-		if err != nil {
-			return nil, nil, fmt.Errorf("index: file %d path: %w", i, err)
-		}
-		size, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, nil, fmt.Errorf("index: file %d size: %w", i, err)
-		}
-		files.Add(path, int64(size))
-	}
-
-	termCount, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, nil, fmt.Errorf("index: reading term count: %w", err)
-	}
-	if termCount > maxCount {
-		return nil, nil, fmt.Errorf("index: absurd term count %d", termCount)
-	}
-	ix := New(int(termCount))
-	for i := uint64(0); i < termCount; i++ {
-		term, err := readString(br)
-		if err != nil {
-			return nil, nil, fmt.Errorf("index: term %d: %w", i, err)
-		}
-		// Decode the posting list directly from the remaining payload.
-		rest := payload[len(payload)-br.Len():]
-		l, n, err := postings.Decode(rest)
-		if err != nil {
-			return nil, nil, fmt.Errorf("index: term %q: %w", term, err)
-		}
-		if _, err := br.Seek(int64(n), io.SeekCurrent); err != nil {
-			return nil, nil, err
-		}
-		if _, dup := ix.terms.Get(term); dup {
-			return nil, nil, fmt.Errorf("index: duplicate term %q", term)
-		}
-		ix.terms.Put(term, l)
-		ix.nPostings += int64(l.Len())
-	}
-	if br.Len() != 0 {
-		return nil, nil, fmt.Errorf("index: %d trailing payload bytes", br.Len())
-	}
-	return ix, files, nil
+	return br, payload, nil
 }
 
-func readString(br *bytes.Reader) (string, error) {
+// WriteUvarint writes v in varint form.
+func WriteUvarint(bw *bufio.Writer, v uint64) error {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	_, err := bw.Write(scratch[:n])
+	return err
+}
+
+// WriteString writes a length-prefixed string.
+func WriteString(bw *bufio.Writer, s string) error {
+	if err := WriteUvarint(bw, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+// ReadString reads a length-prefixed string.
+func ReadString(br *bytes.Reader) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return "", err
@@ -193,4 +155,134 @@ func readString(br *bytes.Reader) (string, error) {
 		return "", err
 	}
 	return string(buf), nil
+}
+
+// WriteFileTable writes the file-table payload section.
+func WriteFileTable(bw *bufio.Writer, files *FileTable) error {
+	if err := WriteUvarint(bw, uint64(files.Len())); err != nil {
+		return err
+	}
+	for id, path := range files.Paths() {
+		if err := WriteString(bw, path); err != nil {
+			return err
+		}
+		if err := WriteUvarint(bw, uint64(files.Size(postings.FileID(id)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFileTable reads the file-table payload section.
+func ReadFileTable(br *bytes.Reader) (*FileTable, error) {
+	fileCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading file count: %w", err)
+	}
+	if fileCount > maxCount {
+		return nil, fmt.Errorf("index: absurd file count %d", fileCount)
+	}
+	files := NewFileTable()
+	for i := uint64(0); i < fileCount; i++ {
+		path, err := ReadString(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: file %d path: %w", i, err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: file %d size: %w", i, err)
+		}
+		files.Add(path, int64(size))
+	}
+	return files, nil
+}
+
+// writeTermSection writes the term→postings payload section.
+func writeTermSection(bw *bufio.Writer, ix *Index) error {
+	if err := WriteUvarint(bw, uint64(ix.NumTerms())); err != nil {
+		return err
+	}
+	var saveErr error
+	var buf []byte
+	ix.Range(func(term string, l *postings.List) bool {
+		if saveErr = WriteString(bw, term); saveErr != nil {
+			return false
+		}
+		buf = l.Encode(buf[:0])
+		if _, saveErr = bw.Write(buf); saveErr != nil {
+			return false
+		}
+		return true
+	})
+	return saveErr
+}
+
+// readTermSection reads the term→postings payload section. payload is the
+// backing slice br reads from; posting lists decode zero-copy from it.
+func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading term count: %w", err)
+	}
+	if termCount > maxCount {
+		return nil, fmt.Errorf("index: absurd term count %d", termCount)
+	}
+	ix := New(int(termCount))
+	for i := uint64(0); i < termCount; i++ {
+		term, err := ReadString(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d: %w", i, err)
+		}
+		// Decode the posting list directly from the remaining payload.
+		rest := payload[len(payload)-br.Len():]
+		l, n, err := postings.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q: %w", term, err)
+		}
+		if _, err := br.Seek(int64(n), io.SeekCurrent); err != nil {
+			return nil, err
+		}
+		if _, dup := ix.terms.Get(term); dup {
+			return nil, fmt.Errorf("index: duplicate term %q", term)
+		}
+		ix.terms.Put(term, l)
+		ix.nPostings += int64(l.Len())
+	}
+	return ix, nil
+}
+
+// Save writes the index and its file table to w (DSIX version 1).
+func Save(w io.Writer, ix *Index, files *FileTable) error {
+	return EncodeFrame(w, codecVersion, func(bw *bufio.Writer) error {
+		if err := WriteFileTable(bw, files); err != nil {
+			return err
+		}
+		return writeTermSection(bw, ix)
+	})
+}
+
+// Load reads an index written by Save. It reads the whole stream into
+// memory first so the checksum can be verified over the exact payload
+// before any of it is trusted.
+func Load(r io.Reader) (*Index, *FileTable, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: reading: %w", err)
+	}
+	br, payload, err := DecodeFrame(data, codecVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	files, err := ReadFileTable(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := readTermSection(br, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if br.Len() != 0 {
+		return nil, nil, fmt.Errorf("index: %d trailing payload bytes", br.Len())
+	}
+	return ix, files, nil
 }

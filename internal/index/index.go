@@ -132,6 +132,20 @@ func (ix *Index) Join(other *Index) {
 	})
 }
 
+// MergeTerm unions l into term's posting list, creating the term if absent.
+// l is read but not retained, so callers may keep using it. Sharding uses
+// MergeTerm to route posting sublists between indices without the per-ID
+// lookup cost of AddTermOccurrence.
+func (ix *Index) MergeTerm(term string, l *postings.List) {
+	if l == nil || l.Len() == 0 {
+		return
+	}
+	existing := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
+	before := existing.Len()
+	existing.Merge(l)
+	ix.nPostings += int64(existing.Len() - before)
+}
+
 // Clone returns a deep copy: posting lists are duplicated, so mutating or
 // joining the clone leaves the original untouched.
 func (ix *Index) Clone() *Index {

@@ -1,0 +1,44 @@
+package index
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// A shard segment (DSIX version 2) persists one document-sharded partition
+// of an index: the term section alone, framed and checksummed like every
+// DSIX file. The file table — shared by all shards of a set — is not
+// repeated per segment; it lives once in the shard manifest
+// (internal/shard), which also records a whole-file checksum for each
+// segment so a swapped or truncated segment is caught before its postings
+// are trusted.
+
+// SaveSegment writes ix's term section to w as a shard segment.
+func SaveSegment(w io.Writer, ix *Index) error {
+	return EncodeFrame(w, SegmentVersion, func(bw *bufio.Writer) error {
+		return writeTermSection(bw, ix)
+	})
+}
+
+// LoadSegment reads a shard segment written by SaveSegment. Like Load it
+// buffers the whole stream so the checksum is verified before any content
+// is trusted.
+func LoadSegment(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading segment: %w", err)
+	}
+	br, payload, err := DecodeFrame(data, SegmentVersion)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := readTermSection(br, payload)
+	if err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("index: %d trailing payload bytes", br.Len())
+	}
+	return ix, nil
+}

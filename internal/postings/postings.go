@@ -33,6 +33,13 @@ func FromIDs(ids []FileID) *List {
 	return l
 }
 
+// FromSortedIDs builds a list from ids, which must already be strictly
+// ascending (the invariant of every posting list's own IDs). It copies but
+// skips the sort and dedup FromIDs pays.
+func FromSortedIDs(ids []FileID) *List {
+	return &List{ids: append([]FileID(nil), ids...)}
+}
+
 func (l *List) dedupSorted() {
 	out := l.ids[:0]
 	for i, id := range l.ids {

@@ -20,14 +20,16 @@ type Hit struct {
 	Score int
 }
 
-// Engine executes queries over one or more indices sharing a file table.
-// It is the paper's Implementation 3 made whole: "the search can work with
-// multiple indices in parallel".
+// Engine executes queries over one or more indices sharing a file table —
+// unjoined replicas or the shards of a shard.Set; both partition the corpus
+// by document, which is all the engine relies on. It is the paper's
+// Implementation 3 made whole: "the search can work with multiple indices
+// in parallel".
 type Engine struct {
 	files   *index.FileTable
 	indices []*index.Index
 	// Parallel fans query evaluation out with one goroutine per index.
-	// Off, replicas are searched sequentially (the ablation baseline).
+	// Off, partitions are searched sequentially (the ablation baseline).
 	Parallel bool
 
 	uniOnce   sync.Once
@@ -35,7 +37,8 @@ type Engine struct {
 }
 
 // NewEngine returns an engine over the given indices. For a joined or
-// shared index pass exactly one; for Implementation 3 pass all replicas.
+// shared index pass exactly one; for Implementation 3 or a shard set pass
+// every partition.
 func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
 	return &Engine{files: files, indices: indices, Parallel: true}
 }
@@ -44,37 +47,85 @@ func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
 func (e *Engine) Indices() int { return len(e.indices) }
 
 // Search evaluates q and returns hits sorted by descending score, then
-// ascending file ID.
+// ascending file ID. With more than one partition the query fans out to one
+// goroutine per partition; each evaluates, scores, and ranks its own hits,
+// and the already-ranked per-partition lists are then merged — the sort
+// happens inside the fan-out instead of globally afterwards.
 func (e *Engine) Search(q *Query) []Hit {
 	unis := e.indexUniverses()
-	perIndex := make([][]Hit, len(e.indices))
+	ranked := make([][]Hit, len(e.indices))
 	if e.Parallel && len(e.indices) > 1 {
 		var wg sync.WaitGroup
 		for i, ix := range e.indices {
 			wg.Add(1)
 			go func(i int, ix *index.Index) {
 				defer wg.Done()
-				perIndex[i] = e.searchOne(ix, unis[i], q)
+				ranked[i] = sortHits(e.searchOne(ix, unis[i], q))
 			}(i, ix)
 		}
 		wg.Wait()
 	} else {
 		for i, ix := range e.indices {
-			perIndex[i] = e.searchOne(ix, unis[i], q)
+			ranked[i] = sortHits(e.searchOne(ix, unis[i], q))
 		}
 	}
-	var out []Hit
-	for _, hits := range perIndex {
-		out = append(out, hits...)
+	return mergeRanked(ranked)
+}
+
+// hitLess is the result order: descending score, then ascending file ID.
+func hitLess(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	// Files live in exactly one replica, so concatenation is a disjoint
-	// union; only ordering remains.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	return a.File < b.File
+}
+
+func sortHits(hits []Hit) []Hit {
+	sort.Slice(hits, func(i, j int) bool { return hitLess(hits[i], hits[j]) })
+	return hits
+}
+
+// mergeRanked merges per-partition ranked hit lists into one ranked list by
+// pairwise reduction. Files live in exactly one partition, so the merge is
+// a disjoint union; only ordering remains.
+func mergeRanked(parts [][]Hit) []Hit {
+	live := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
 		}
-		return out[i].File < out[j].File
-	})
+	}
+	for len(live) > 1 {
+		merged := make([][]Hit, 0, (len(live)+1)/2)
+		for i := 0; i+1 < len(live); i += 2 {
+			merged = append(merged, mergeTwo(live[i], live[i+1]))
+		}
+		if len(live)%2 == 1 {
+			merged = append(merged, live[len(live)-1])
+		}
+		live = merged
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return live[0]
+}
+
+// mergeTwo merges two ranked hit lists in linear time.
+func mergeTwo(a, b []Hit) []Hit {
+	out := make([]Hit, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if hitLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 

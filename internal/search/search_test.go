@@ -310,3 +310,40 @@ func BenchmarkSearchReplicasParallel(b *testing.B) {
 		e.Search(q)
 	}
 }
+
+func TestMergeRanked(t *testing.T) {
+	h := func(file postings.FileID, score int) Hit {
+		return Hit{File: file, Score: score}
+	}
+	cases := []struct {
+		name  string
+		parts [][]Hit
+		want  []Hit
+	}{
+		{"empty", nil, nil},
+		{"all-empty", [][]Hit{nil, {}, nil}, nil},
+		{"single", [][]Hit{{h(1, 2), h(3, 1)}}, []Hit{h(1, 2), h(3, 1)}},
+		{
+			"interleaved",
+			[][]Hit{
+				{h(2, 3), h(0, 1)},
+				{h(1, 3), h(4, 2)},
+				{h(3, 3)},
+			},
+			[]Hit{h(1, 3), h(2, 3), h(3, 3), h(4, 2), h(0, 1)},
+		},
+		{
+			"skewed-lengths",
+			[][]Hit{
+				{h(0, 5), h(1, 4), h(2, 3), h(3, 2), h(4, 1)},
+				{h(5, 3)},
+			},
+			[]Hit{h(0, 5), h(1, 4), h(2, 3), h(5, 3), h(3, 2), h(4, 1)},
+		},
+	}
+	for _, tc := range cases {
+		if got := mergeRanked(tc.parts); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: mergeRanked = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"desksearch/internal/fnv"
+	"desksearch/internal/index"
+)
+
+// The sharded on-disk layout: one directory holding
+//
+//	manifest.dsix   DSIX version 3 — file table + segment directory
+//	shard-0000.dsix DSIX version 2 — shard 0's term section
+//	shard-0001.dsix ...
+//
+// The manifest payload, inside the standard DSIX frame, is
+//
+//	file table (shared by all shards)
+//	uvarint shardCount
+//	shardCount × (uvarint nameLen | segment file name | u64 FNV-1 checksum
+//	              of the segment file's entire contents)
+//
+// Every file carries its own checksum trailer; the manifest's per-segment
+// checksums additionally pin the exact segment bytes, so a segment that was
+// swapped with another (internally valid) one, regenerated, or truncated is
+// rejected before its postings are trusted. Segments are written and read
+// with one goroutine per shard.
+
+// ManifestName is the manifest's file name inside a sharded index directory.
+const ManifestName = "manifest.dsix"
+
+// maxShards bounds the shard count against corrupt manifests.
+const maxShards = 1 << 16
+
+// SegmentName returns the file name of shard i's segment.
+func SegmentName(i int) string { return fmt.Sprintf("shard-%04d.dsix", i) }
+
+// SaveDir writes s under dir as a manifest plus one segment file per shard.
+// Segments are written concurrently, one goroutine per shard, each hashing
+// its own file as it streams out. All files are staged under temporary
+// names and renamed into place only after every write has succeeded —
+// segments first, manifest last — so a crash during the data writes leaves
+// any pre-existing index untouched, and a crash during the renames is
+// caught at load time by the manifest's per-segment checksums rather than
+// serving mixed data.
+func SaveDir(dir string, s *Set) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	const stage = ".tmp"
+	sums := make([]uint64, s.Len())
+	errs := make([]error, s.Len())
+	var wg sync.WaitGroup
+	for i, ix := range s.shards {
+		wg.Add(1)
+		go func(i int, ix *index.Index) {
+			defer wg.Done()
+			sums[i], errs[i] = saveSegmentFile(filepath.Join(dir, SegmentName(i)+stage), ix)
+		}(i, ix)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: segment %d: %w", i, err)
+		}
+	}
+	if err := saveManifest(filepath.Join(dir, ManifestName+stage), s, sums); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		name := filepath.Join(dir, SegmentName(i))
+		if err := os.Rename(name+stage, name); err != nil {
+			return fmt.Errorf("shard: segment %d: %w", i, err)
+		}
+	}
+	name := filepath.Join(dir, ManifestName)
+	if err := os.Rename(name+stage, name); err != nil {
+		return fmt.Errorf("shard: manifest: %w", err)
+	}
+	removeStaleSegments(dir, s.Len())
+	return nil
+}
+
+// removeStaleSegments deletes segment files a previous save with more
+// shards left behind — the new manifest no longer references them, so they
+// would otherwise linger on disk forever — along with staging leftovers of
+// a crashed earlier save. Removal failures are ignored — stale files are
+// dead weight, not a correctness hazard.
+func removeStaleSegments(dir string, n int) {
+	if leftovers, err := filepath.Glob(filepath.Join(dir, "*.dsix.tmp")); err == nil {
+		for _, path := range leftovers {
+			os.Remove(path)
+		}
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "shard-*.dsix"))
+	if err != nil {
+		return
+	}
+	for _, path := range stale {
+		var i int
+		if _, err := fmt.Sscanf(filepath.Base(path), "shard-%04d.dsix", &i); err == nil && i >= n {
+			os.Remove(path)
+		}
+	}
+}
+
+// saveSegmentFile writes one segment and returns the FNV-1 checksum of the
+// complete file contents (frame and trailer included).
+func saveSegmentFile(path string, ix *index.Index) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64()
+	if err := index.SaveSegment(io.MultiWriter(f, h), ix); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+func saveManifest(path string, s *Set, sums []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	err = index.EncodeFrame(f, index.ManifestVersion, func(bw *bufio.Writer) error {
+		if err := index.WriteFileTable(bw, s.files); err != nil {
+			return err
+		}
+		if err := index.WriteUvarint(bw, uint64(s.Len())); err != nil {
+			return err
+		}
+		var b [8]byte
+		for i := range s.shards {
+			if err := index.WriteString(bw, SegmentName(i)); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(b[:], sums[i])
+			if _, err := bw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("shard: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: manifest: %w", err)
+	}
+	return nil
+}
+
+// manifest is the decoded segment directory.
+type manifest struct {
+	files *index.FileTable
+	names []string
+	sums  []uint64
+}
+
+func parseManifest(data []byte) (*manifest, error) {
+	br, _, err := index.DecodeFrame(data, index.ManifestVersion)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	files, err := index.ReadFileTable(br)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	shardCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: reading shard count: %w", err)
+	}
+	if shardCount == 0 || shardCount > maxShards {
+		return nil, fmt.Errorf("shard: manifest: absurd shard count %d", shardCount)
+	}
+	m := &manifest{
+		files: files,
+		names: make([]string, shardCount),
+		sums:  make([]uint64, shardCount),
+	}
+	sumBuf := make([]byte, 8)
+	for i := range m.names {
+		name, err := index.ReadString(br)
+		if err != nil {
+			return nil, fmt.Errorf("shard: manifest: segment %d name: %w", i, err)
+		}
+		// Segment names are opaque manifest data; refuse anything that
+		// would escape the index directory.
+		if name == "" || name != filepath.Base(name) {
+			return nil, fmt.Errorf("shard: manifest: invalid segment name %q", name)
+		}
+		m.names[i] = name
+		if _, err := io.ReadFull(br, sumBuf); err != nil {
+			return nil, fmt.Errorf("shard: manifest: segment %d checksum: %w", i, err)
+		}
+		m.sums[i] = binary.LittleEndian.Uint64(sumBuf)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("shard: manifest: %d trailing payload bytes", br.Len())
+	}
+	return m, nil
+}
+
+// LoadDir reads a sharded index directory written by SaveDir: the manifest
+// first (checksum-verified before anything in it is trusted), then every
+// segment concurrently, one goroutine per shard, each segment checked
+// against the manifest's whole-file checksum and then against its own
+// trailer by the segment codec.
+func LoadDir(dir string) (*Set, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*index.Index, len(m.names))
+	errs := make([]error, len(m.names))
+	var wg sync.WaitGroup
+	for i, name := range m.names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			shards[i], errs[i] = loadSegmentFile(filepath.Join(dir, name), m.sums[i])
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: segment %s: %w", m.names[i], err)
+		}
+	}
+	return New(m.files, shards), nil
+}
+
+func loadSegmentFile(path string, wantSum uint64) (*index.Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if got := fnv.Hash64Bytes(data); got != wantSum {
+		return nil, fmt.Errorf("file checksum mismatch: manifest %#x, computed %#x", wantSum, got)
+	}
+	return index.LoadSegment(bytes.NewReader(data))
+}

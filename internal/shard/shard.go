@@ -1,0 +1,129 @@
+// Package shard implements the document-sharded index subsystem: a set of
+// independent index partitions, each owning every posting of the files
+// hashed to it, queried in parallel and persisted as a checksummed manifest
+// plus one segment file per shard.
+//
+// Sharding is the production step the paper's ReplicatedSearch design hints
+// at: its unjoined replicas already are document partitions (each file's
+// term block goes to exactly one replica), so replicas become shards for
+// free. Every other pipeline implementation reaches the same shape by
+// splitting on a hash of the FileID, the standard document-partitioning
+// rule of parallel search engines.
+package shard
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"desksearch/internal/fnv"
+	"desksearch/internal/index"
+	"desksearch/internal/postings"
+)
+
+// Set is a document-sharded index: len(shards) partitions over one shared
+// file table. Every posting of a given file lives in exactly one shard, so
+// a query fanned out over all shards sees each file once and the merged
+// hits equal a single-index search.
+type Set struct {
+	files  *index.FileTable
+	shards []*index.Index
+}
+
+// New returns a set over the given partitions. The caller guarantees the
+// partitions are document-disjoint; FromReplicas and Distribute both do.
+func New(files *index.FileTable, shards []*index.Index) *Set {
+	return &Set{files: files, shards: shards}
+}
+
+// Files returns the shared file table.
+func (s *Set) Files() *index.FileTable { return s.files }
+
+// Shards returns the partitions. Callers must not modify the slice.
+func (s *Set) Shards() []*index.Index { return s.shards }
+
+// Len returns the number of shards.
+func (s *Set) Len() int { return len(s.shards) }
+
+// Stats aggregates index statistics across the shards. Terms is an upper
+// bound: a term present in several shards is counted once per shard.
+func (s *Set) Stats() index.Stats {
+	var agg index.Stats
+	for _, ix := range s.shards {
+		st := ix.Stats()
+		agg.Terms += st.Terms
+		agg.Postings += st.Postings
+	}
+	return agg
+}
+
+// ShardFor maps a file to its shard: FNV-1 over the FileID's little-endian
+// bytes, modulo the shard count. Hashing (rather than id % n) decorrelates
+// shard assignment from Stage 1's traversal order, so directory-clustered
+// corpora still spread evenly.
+func ShardFor(id postings.FileID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(id))
+	return int(fnv.Hash32Bytes(b[:]) % uint32(n))
+}
+
+// FromReplicas turns ReplicatedSearch replicas into shards directly — no
+// join pass and no copying. Each file was extracted into exactly one
+// replica, so the replicas already satisfy the document-disjointness Set
+// requires; the partition rule is whatever the pipeline's distribution
+// strategy produced rather than ShardFor.
+func FromReplicas(files *index.FileTable, replicas []*index.Index) *Set {
+	return New(files, replicas)
+}
+
+// Distribute builds an n-shard set from any document-disjoint source
+// indices (a single joined index, or unjoined replicas when their count
+// does not match n), routing every posting to ShardFor of its file. One
+// goroutine per destination shard scans the sources — which are only read —
+// so shard construction parallelizes without locks; each file's shard is
+// hashed once up front (every FileID comes from files, so the table covers
+// them all) and the per-posting work in the scans is a table lookup.
+func Distribute(files *index.FileTable, sources []*index.Index, n int) *Set {
+	if n < 1 {
+		n = 1
+	}
+	assign := make([]int32, files.Len())
+	for id := range assign {
+		assign[id] = int32(ShardFor(postings.FileID(id), n))
+	}
+	totalTerms := 0
+	for _, src := range sources {
+		totalTerms += src.NumTerms()
+	}
+	shards := make([]*index.Index, n)
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int32) {
+			defer wg.Done()
+			dst := index.New(totalTerms / n)
+			var mine []postings.FileID
+			for _, src := range sources {
+				src.Range(func(term string, l *postings.List) bool {
+					mine = mine[:0]
+					for _, id := range l.IDs() {
+						if assign[id] == s {
+							mine = append(mine, id)
+						}
+					}
+					if len(mine) > 0 {
+						// Filtering an ascending list keeps it ascending,
+						// so the sort-free constructor applies.
+						dst.MergeTerm(term, postings.FromSortedIDs(mine))
+					}
+					return true
+				})
+			}
+			shards[s] = dst
+		}(int32(s))
+	}
+	wg.Wait()
+	return New(files, shards)
+}
