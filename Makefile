@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt bench ci
+# Pinned staticcheck version, matching .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: build test vet fmt lint bench ci
 
 build:
 	$(GO) build ./...
@@ -22,8 +25,21 @@ fmt:
 		exit 1; \
 	fi
 
+# staticcheck: use the PATH binary when present, otherwise fetch the pinned
+# version via `go run` (needs network once). Only tool *availability* is
+# probed with -version; real findings always fail the target. Offline
+# machines without the binary get a skip, not a failure — CI always has it.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline, not installed); skipping" >&2; \
+	fi
+
 # One iteration per benchmark: compile-and-run proof, no measurement.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet fmt test bench
+ci: build vet fmt lint test bench

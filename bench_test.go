@@ -482,6 +482,133 @@ func BenchmarkShardedLoad(b *testing.B) {
 	}
 }
 
+// ---- incremental update vs full rebuild ----
+
+// churnLevels is the churn sweep for the incremental-maintenance benches:
+// the fraction of the corpus rewritten between updates. The acceptance
+// criterion is that Catalog.Update beats a full rebuild at ≤10 %.
+var churnLevels = []int{1, 10, 50}
+
+// churnCorpus returns a private corpus (the benches mutate it) plus its
+// file list.
+func churnCorpus(b *testing.B) (*vfs.MemFS, []string) {
+	b.Helper()
+	fs := vfs.NewMemFS()
+	if _, err := corpus.Generate(corpus.PaperSpec().Scale(1.0/128), fs); err != nil {
+		b.Fatal(err)
+	}
+	refs, err := walk.List(fs, ".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, len(refs))
+	for i, r := range refs {
+		paths[i] = r.Path
+	}
+	return fs, paths
+}
+
+// churn rewrites k files, rotating through the corpus so successive rounds
+// touch different files, with round-stamped content so every write is a
+// real change.
+func churn(b *testing.B, fs *vfs.MemFS, paths []string, k, round int) {
+	b.Helper()
+	for j := 0; j < k; j++ {
+		p := paths[(round*k+j)%len(paths)]
+		content := fmt.Sprintf("churned revision %d of %s with fresh terms rev%d edit%d", round, p, round, j)
+		if err := fs.WriteFile(p, []byte(content)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var churnOptions = Options{Implementation: ReplicatedSearch, Extractors: 4, Updaters: 2, Shards: 4}
+
+// BenchmarkIncrementalUpdate measures Catalog.Update absorbing a churned
+// tree in place: diff, parallel re-extraction of only the changed files,
+// and batched per-partition commit.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	for _, pct := range churnLevels {
+		b.Run(fmt.Sprintf("churn-%d", pct), func(b *testing.B) {
+			fs, paths := churnCorpus(b)
+			cat, err := IndexFS(fs, ".", churnOptions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := len(paths) * pct / 100
+			if k < 1 {
+				k = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				churn(b, fs, paths, k, i)
+				b.StartTimer()
+				if _, err := cat.Update(fs, "."); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullRebuild is the baseline the incremental path must beat at
+// low churn: the batch pipeline re-indexing the whole churned tree.
+func BenchmarkFullRebuild(b *testing.B) {
+	for _, pct := range churnLevels {
+		b.Run(fmt.Sprintf("churn-%d", pct), func(b *testing.B) {
+			fs, paths := churnCorpus(b)
+			if _, err := IndexFS(fs, ".", churnOptions); err != nil {
+				b.Fatal(err)
+			}
+			k := len(paths) * pct / 100
+			if k < 1 {
+				k = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				churn(b, fs, paths, k, i)
+				b.StartTimer()
+				if _, err := IndexFS(fs, ".", churnOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalSaveDir measures persisting an update back into an
+// existing catalog directory, where only dirty segments rewrite, against
+// the all-segments write a fresh save pays.
+func BenchmarkIncrementalSaveDir(b *testing.B) {
+	fs, paths := churnCorpus(b)
+	cat, err := IndexFS(fs, ".", churnOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := cat.SaveDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	k := len(paths) / 100
+	if k < 1 {
+		k = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		churn(b, fs, paths, k, i)
+		if _, err := cat.Update(fs, "."); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := cat.SaveDir(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- facade benchmark ----
 
 func BenchmarkIndexFS(b *testing.B) {

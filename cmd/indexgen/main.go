@@ -5,11 +5,19 @@
 //
 //	indexgen -root DIR [-impl seq|shared|join|nojoin] [-x N -y N -z N]
 //	         [-shards N] [-formats] [-save PATH] [-stages]
+//	indexgen -root DIR -update -save DIR [-formats] [-x N]
 //
 // With -shards N the index is partitioned into N document shards and
 // -save PATH writes the sharded layout (a checksummed manifest plus one
 // segment file per shard) into the directory PATH; without -shards, -save
 // writes a single index file.
+//
+// With -update the catalog saved under -save (the sharded directory
+// layout) is loaded, diffed against the live tree under -root, patched in
+// place — added, modified, and deleted files only, no full rebuild — and
+// written back, rewriting only the segment files the changeset dirtied
+// plus the manifest. Pass the same -formats (and optionally -x) the build
+// used: extraction options are not persisted in the catalog.
 //
 // With -stages it instead reproduces the paper's Table 1 methodology on
 // the live directory: isolated sequential timings of filename generation,
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"desksearch"
 	"desksearch/internal/core"
@@ -39,11 +48,23 @@ func main() {
 		formats = flag.Bool("formats", false, "strip HTML/WP markup before indexing")
 		save    = flag.String("save", "", "write the built index to this path (a directory with -shards)")
 		stages  = flag.Bool("stages", false, "measure isolated sequential stage times (paper Table 1) and exit")
+		update  = flag.Bool("update", false, "incrementally update the saved catalog under -save against -root instead of rebuilding")
 	)
 	flag.Parse()
 	if *root == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *update {
+		if *save == "" {
+			fatal(fmt.Errorf("-update needs -save DIR naming the saved catalog"))
+		}
+		// Build options are not persisted in the catalog, so the update
+		// must be told the original extraction flags to re-extract
+		// changed files the same way.
+		runUpdate(*root, *save, desksearch.Options{Formats: *formats, Extractors: *x})
+		return
 	}
 
 	if *stages {
@@ -106,6 +127,40 @@ func main() {
 		}
 		fmt.Printf("index saved to %s\n", *save)
 	}
+}
+
+// runUpdate loads the catalog under saveDir, applies the changes found
+// under root, and writes back only what the changeset dirtied.
+func runUpdate(root, saveDir string, opt desksearch.Options) {
+	start := time.Now()
+	cat, err := desksearch.LoadDir(saveDir, opt)
+	if err != nil {
+		fatal(err)
+	}
+	loaded := time.Since(start)
+
+	startUpdate := time.Now()
+	st, err := cat.UpdateDir(root)
+	if err != nil {
+		fatal(err)
+	}
+	updated := time.Since(startUpdate)
+	dirty := cat.DirtySegments()
+
+	startSave := time.Now()
+	if err := cat.SaveDir(saveDir); err != nil {
+		fatal(err)
+	}
+	saved := time.Since(startSave)
+
+	s := cat.Stats()
+	fmt.Printf("updated %s: +%d added, ~%d modified, -%d deleted files (+%d/-%d postings, %d skipped)\n",
+		saveDir, st.Added, st.Modified, st.Deleted, st.PostingsAdded, st.PostingsRemoved, st.SkippedFiles)
+	fmt.Printf("catalog now: %d files, %d terms, %d postings across %d indices\n",
+		s.Files, s.Terms, s.Postings, cat.Indices())
+	fmt.Printf("rewrote %d/%d segments + manifest\n", dirty, cat.Indices())
+	fmt.Printf("load: %.3fs   update: %.3fs   save: %.3fs\n",
+		loaded.Seconds(), updated.Seconds(), saved.Seconds())
 }
 
 func parseImpl(name string) (desksearch.Implementation, error) {

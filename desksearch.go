@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 
 	"desksearch/internal/core"
+	"desksearch/internal/delta"
 	"desksearch/internal/distribute"
 	"desksearch/internal/extract"
 	"desksearch/internal/index"
@@ -120,9 +122,17 @@ type Stats struct {
 }
 
 // Catalog is a built index (or replica set) ready to answer queries.
+//
+// A catalog is safe for concurrent Search calls, and Search is safe
+// against a concurrent Update/Apply: incremental updates commit under the
+// engine's maintenance lock, so a query sees the catalog either before or
+// after a changeset, never mid-apply.
 type Catalog struct {
 	result *core.Result
 	engine *search.Engine
+	// updateMu serializes Update/Apply against each other; the engine's
+	// read-write lock already serializes them against queries.
+	updateMu sync.Mutex
 }
 
 // IndexDir indexes every file under dir on the host filesystem.
@@ -166,15 +176,21 @@ func (c *Catalog) Search(query string) ([]Result, error) {
 	return out, nil
 }
 
-// Stats summarizes the catalog.
+// Stats summarizes the catalog. Files counts live files only: a file
+// deleted by an incremental update keeps its FileID slot as a tombstone
+// but no longer counts.
 func (c *Catalog) Stats() Stats {
-	s := c.result.Stats()
-	return Stats{
-		Files:    c.result.Files.Len(),
-		Terms:    s.Terms,
-		Postings: s.Postings,
-		Skipped:  len(c.result.SkippedFiles),
-	}
+	var out Stats
+	c.engine.View(func() {
+		s := c.result.Stats()
+		out = Stats{
+			Files:    c.result.Files.LiveCount(),
+			Terms:    s.Terms,
+			Postings: s.Postings,
+			Skipped:  len(c.result.SkippedFiles),
+		}
+	})
+	return out
 }
 
 // Indices reports how many indices answer queries (1, or the replica or
@@ -206,28 +222,23 @@ type TermCount struct {
 }
 
 // TopTerms returns the catalog's n most frequent terms by document count.
-// For replica catalogs the counts are aggregated across replicas.
+// For partitioned catalogs (replicas or shards) the per-partition counts
+// are summed directly — partitions are document-disjoint, so document
+// frequencies add — without cloning or joining any index: the cost is one
+// pass over each partition's term map plus a counter per distinct term,
+// not a materialized copy of the whole catalog.
 func (c *Catalog) TopTerms(n int) []TermCount {
 	if n <= 0 {
 		return nil
 	}
-	indexes := c.result.Indexes()
-	var source *index.Index
-	if len(indexes) == 1 {
-		source = indexes[0]
-	} else {
-		// Aggregate on clones so the live replicas stay untouched.
-		clones := make([]*index.Index, len(indexes))
-		for i, ix := range indexes {
-			clones[i] = ix.Clone()
+	var out []TermCount
+	c.engine.View(func() {
+		top := index.TopTermsAcross(c.result.Indexes(), n)
+		out = make([]TermCount, len(top))
+		for i, tc := range top {
+			out[i] = TermCount{Term: tc.Term, Files: tc.Files}
 		}
-		source = index.JoinAll(clones)
-	}
-	top := source.TopTerms(n)
-	out := make([]TermCount, len(top))
-	for i, tc := range top {
-		out[i] = TermCount{Term: tc.Term, Files: tc.Files}
-	}
+	})
 	return out
 }
 
@@ -236,29 +247,55 @@ func (c *Catalog) TopTerms(n int) []TermCount {
 // stays queryable — and a saved catalog always reloads as a single index.
 // Use SaveDir to persist the partitions instead.
 func (c *Catalog) Save(w io.Writer) error {
-	ix := c.result.Index
-	if ix == nil {
-		parts := c.result.Indexes()
-		clones := make([]*index.Index, len(parts))
-		for i, p := range parts {
-			clones[i] = p.Clone()
+	var err error
+	c.engine.View(func() {
+		ix := c.result.Index
+		if ix == nil {
+			parts := c.result.Indexes()
+			clones := make([]*index.Index, len(parts))
+			for i, p := range parts {
+				clones[i] = p.Clone()
+			}
+			ix = index.JoinAll(clones)
 		}
-		ix = index.JoinAll(clones)
-	}
-	return index.Save(w, ix, c.result.Files)
+		err = index.Save(w, ix, c.result.Files)
+	})
+	return err
 }
 
-// Load reads a catalog previously written by Save.
-func Load(r io.Reader) (*Catalog, error) {
+// Load reads a catalog previously written by Save. Loaded catalogs accept
+// incremental updates; build options are not persisted, so a catalog built
+// with non-default extraction (Formats, Stopwords, MinTermLen) must be
+// given the same Options again here or updates will re-extract changed
+// files differently than the original build did.
+func Load(r io.Reader, opt ...Options) (*Catalog, error) {
+	cfg, err := loadedConfig(opt)
+	if err != nil {
+		return nil, err
+	}
 	ix, files, err := index.Load(r)
 	if err != nil {
 		return nil, err
 	}
 	return newCatalog(&core.Result{
 		Implementation: core.Sequential,
+		Config:         cfg,
 		Files:          files,
 		Index:          ix,
 	}), nil
+}
+
+// loadedConfig is the pipeline configuration assumed for catalogs loaded
+// from disk, whose build options were not persisted: the caller's Options
+// when given, defaults otherwise.
+func loadedConfig(opts []Options) (core.Config, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	// coreConfig always bases extraction on tokenize.Default, so the zero
+	// Options value yields the pipeline's default extraction.
+	return o.coreConfig()
 }
 
 // SaveDir writes the catalog under dir in the sharded layout: a checksummed
@@ -267,24 +304,155 @@ func Load(r io.Reader) (*Catalog, error) {
 // shards — replicas are document-disjoint, and a single index becomes a
 // one-segment layout — so any catalog can be saved this way.
 func (c *Catalog) SaveDir(dir string) error {
-	set := c.result.Shards
-	if set == nil {
-		set = shard.FromReplicas(c.result.Files, c.result.Indexes())
-	}
-	return shard.SaveDir(dir, set)
+	// updateMu keeps two saves from staging the same temporary files; the
+	// engine's read lock keeps the indices stable while segments stream
+	// out (updates commit under the write lock).
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	var err error
+	c.engine.View(func() {
+		set := c.result.Shards
+		if set == nil {
+			set = shard.FromReplicas(c.result.Files, c.result.Indexes())
+		}
+		err = shard.SaveDir(dir, set)
+	})
+	return err
 }
 
 // LoadDir reads a sharded catalog previously written by SaveDir, loading
 // and verifying all segments in parallel. Queries fan out over the loaded
-// shards.
-func LoadDir(dir string) (*Catalog, error) {
+// shards. A loaded catalog remembers its directory: after an incremental
+// Update, SaveDir back to it rewrites only the segments the update
+// dirtied. Like Load, pass the build's Options if it used non-default
+// extraction, so updates re-extract consistently.
+func LoadDir(dir string, opt ...Options) (*Catalog, error) {
+	cfg, err := loadedConfig(opt)
+	if err != nil {
+		return nil, err
+	}
 	set, err := shard.LoadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	return newCatalog(&core.Result{
 		Implementation: core.ReplicatedSearch,
+		Config:         cfg,
 		Files:          set.Files(),
 		Shards:         set,
 	}), nil
+}
+
+// Changeset is a tree diff computed by Catalog.Diff and consumed by
+// Catalog.Apply: the files added, modified, and deleted since the catalog
+// last matched the tree.
+type Changeset = delta.Changeset
+
+// UpdateStats summarizes an applied incremental update.
+type UpdateStats struct {
+	// Added, Modified, and Deleted count the files in the changeset.
+	Added, Modified, Deleted int
+	// PostingsRemoved and PostingsAdded count the (term, file) pairs the
+	// update dropped and inserted.
+	PostingsRemoved, PostingsAdded int64
+	// SkippedFiles counts changed files that could not be re-extracted;
+	// like the batch pipeline, they stay registered without postings.
+	SkippedFiles int
+}
+
+// Diff walks fsys from root and returns the changes since the catalog was
+// built or last updated, without applying anything. Size and modification
+// stamps decide whether a file changed; nothing is read or re-extracted.
+func (c *Catalog) Diff(fsys vfs.FS, root string) (*Changeset, error) {
+	var cs *Changeset
+	var err error
+	c.engine.View(func() {
+		cs, err = delta.Diff(fsys, root, c.result.Files)
+	})
+	return cs, err
+}
+
+// Apply re-extracts the changeset's added and modified files in parallel
+// and commits the changes to the catalog in place: deleted files are
+// tombstoned and their postings dropped, modified files are re-indexed,
+// and new files register fresh FileIDs, each term block routed to its
+// owning partition by the same FNV FileID split sharding uses. Queries are
+// excluded only during the in-memory commit, not during extraction.
+func (c *Catalog) Apply(fsys vfs.FS, cs *Changeset) (UpdateStats, error) {
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	return c.applyLocked(fsys, cs)
+}
+
+// Update diffs the catalog against the tree under root and applies the
+// resulting changeset: Diff followed by Apply in one step. It returns what
+// changed; an up-to-date catalog returns zero stats and does no work.
+func (c *Catalog) Update(fsys vfs.FS, root string) (UpdateStats, error) {
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	cs, err := c.Diff(fsys, root)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return c.applyLocked(fsys, cs)
+}
+
+// UpdateDir is Update over a host directory, the incremental counterpart
+// of IndexDir.
+func (c *Catalog) UpdateDir(dir string) (UpdateStats, error) {
+	return c.Update(vfs.NewOSFS(dir), ".")
+}
+
+func (c *Catalog) applyLocked(fsys vfs.FS, cs *Changeset) (UpdateStats, error) {
+	if cs.Empty() {
+		return UpdateStats{}, nil
+	}
+	plan := delta.Extract(fsys, cs, c.result.Config.Extract, c.updateWorkers())
+	target := delta.Target{
+		Files:      c.result.Files,
+		Partitions: c.result.Indexes(),
+	}
+	if set := c.result.Shards; set != nil {
+		target.OnDirty = set.MarkDirty
+	}
+	var st delta.Stats
+	c.engine.Maintain(func() {
+		st = plan.Commit(target)
+	})
+	return UpdateStats{
+		Added:           st.Added,
+		Modified:        st.Modified,
+		Deleted:         st.Deleted,
+		PostingsRemoved: st.PostingsRemoved,
+		PostingsAdded:   st.PostingsAdded,
+		SkippedFiles:    len(plan.Skipped),
+	}, nil
+}
+
+// updateWorkers sizes the re-extraction pool: the build's extractor count
+// when known, otherwise one per spare CPU.
+func (c *Catalog) updateWorkers() int {
+	if x := c.result.Config.Extractors; x > 0 {
+		return x
+	}
+	x := runtime.NumCPU() - 1
+	if x < 1 {
+		x = 1
+	}
+	return x
+}
+
+// DirtySegments reports how many segment files the next SaveDir back to
+// the catalog's directory would rewrite. Catalogs never persisted with
+// SaveDir (or not sharded) count every partition as dirty.
+func (c *Catalog) DirtySegments() int {
+	var n int
+	c.engine.View(func() {
+		if set := c.result.Shards; set != nil {
+			n = set.DirtyCount()
+		} else {
+			n = len(c.result.Indexes())
+		}
+	})
+	return n
 }

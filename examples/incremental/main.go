@@ -1,10 +1,12 @@
-// Incremental: keep the index in step with a changing file tree.
+// Incremental: keep a catalog in step with a changing file tree.
 //
 // The paper builds its index in one batch; a real desktop search tool must
-// also follow the user's edits. This example builds an index with the
-// batch pipeline, then removes and re-indexes individual files through the
-// maintenance API (internal/index RemoveFile / UpdateFile), checking the
-// incrementally maintained index against a fresh rebuild at every step.
+// also follow the user's edits. This example builds a sharded catalog with
+// the batch pipeline, persists it, then drives it through the public
+// incremental API — Catalog.Update — as files are created, edited, and
+// deleted, checking after every step that the incrementally maintained
+// catalog answers exactly like a fresh rebuild of the current tree, and
+// that saving the update back rewrites only the segments it dirtied.
 //
 // Run with:
 //
@@ -14,13 +16,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"sort"
+	"strings"
 
-	"desksearch/internal/core"
-	"desksearch/internal/extract"
-	"desksearch/internal/index"
-	"desksearch/internal/postings"
-	"desksearch/internal/search"
-	"desksearch/internal/tokenize"
+	"desksearch"
 	"desksearch/internal/vfs"
 )
 
@@ -35,62 +35,96 @@ func main() {
 	write("inbox/2.txt", "lunch plans")
 	write("projects/plan.txt", "project plan budget draft")
 
-	build := func() (*index.Index, *index.FileTable) {
-		res, err := core.Run(fs, ".", core.Config{Implementation: core.Sequential})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res.Index, res.Files
-	}
-	ix, files := build()
-	report := func(when string) {
-		engine := search.NewEngine(files, ix)
-		hits, err := engine.SearchString("budget")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-28s budget matches %d file(s), index holds %s\n",
-			when+":", len(hits), ix.Stats())
-	}
-	report("initial build")
-
-	// The user excludes a file from search (or deletes it): drop its
-	// postings in place. FileIDs are never reused, so the file table keeps
-	// its slot as a tombstone — the reason incremental maintenance beats
-	// re-walking the tree.
-	var planID postings.FileID
-	for i, p := range files.Paths() {
-		if p == "projects/plan.txt" {
-			planID = postings.FileID(i)
-		}
-	}
-	removed := ix.RemoveFile(planID)
-	fmt.Printf("removed projects/plan.txt: %d postings dropped\n", removed)
-	report("after delete")
-
-	// The user edits a file: re-extract it and swap its block in place.
-	write("inbox/2.txt", "lunch plans moved, budget discussion instead")
-	var lunchID postings.FileID
-	for i, p := range files.Paths() {
-		if p == "inbox/2.txt" {
-			lunchID = postings.FileID(i)
-		}
-	}
-	ex := extract.New(fs, extract.Options{Tokenize: tokenize.Default})
-	block, err := ex.File("inbox/2.txt", lunchID)
+	opts := desksearch.Options{Implementation: desksearch.Sequential, Shards: 2}
+	cat, err := desksearch.IndexFS(fs, ".", opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ix.UpdateFile(block.File, block.Terms)
-	report("after edit")
-
-	// Cross-check: the incrementally maintained index must answer like a
-	// rebuilt one (modulo the deleted file, which a rebuild would not see).
-	fresh, freshFiles := build()
-	fresh.RemoveFile(planID) // rebuild still walks the deleted file's ID space
-	_ = freshFiles
-	if !ix.Equal(fresh) {
-		log.Fatal("incremental index diverged from rebuild")
+	dir, err := os.MkdirTemp("", "incremental-*")
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("incremental index verified against a fresh rebuild ✓")
+	defer os.RemoveAll(dir)
+	if err := cat.SaveDir(dir); err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(when string) {
+		hits, err := cat.Search("budget")
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := cat.Stats()
+		fmt.Printf("%-28s budget matches %d file(s); %d files, %d postings\n",
+			when+":", len(hits), s.Files, s.Postings)
+	}
+	report("initial build")
+
+	// The user deletes a file: Update tombstones its FileID and drops its
+	// postings in place — no re-walk of the unchanged files.
+	if err := fs.Remove("projects/plan.txt"); err != nil {
+		log.Fatal(err)
+	}
+	st, err := cat.Update(fs, ".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delete: %d file removed, %d postings dropped\n",
+		st.Deleted, st.PostingsRemoved)
+	report("after delete")
+
+	// The user edits one file and creates another: one Update re-extracts
+	// exactly those two and routes their term blocks to the owning shards.
+	write("inbox/2.txt", "lunch plans moved, budget discussion instead")
+	write("inbox/3.txt", "new budget spreadsheet attached")
+	if st, err = cat.Update(fs, "."); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after edits: +%d added, ~%d modified (+%d postings)\n",
+		st.Added, st.Modified, st.PostingsAdded)
+	report("after edits")
+
+	// Persist the delta: only the dirtied segments are rewritten.
+	fmt.Printf("saving back: %d/2 segments dirty\n", cat.DirtySegments())
+	if err := cat.SaveDir(dir); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check: the incrementally maintained catalog, and a reload of
+	// what it saved, must answer exactly like a fresh rebuild of the tree.
+	fresh, err := desksearch.IndexFS(fs, ".", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := desksearch.LoadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []string{"budget", "plans -lunch", "-budget", "meeting OR spreadsheet"} {
+		want := resultSet(fresh, q)
+		if got := resultSet(cat, q); got != want {
+			log.Fatalf("%q: incremental %q diverged from rebuild %q", q, got, want)
+		}
+		if got := resultSet(reloaded, q); got != want {
+			log.Fatalf("%q: reloaded %q diverged from rebuild %q", q, got, want)
+		}
+	}
+	fmt.Println("incremental catalog verified against a fresh rebuild ✓")
+}
+
+// resultSet renders a query's hits as a canonical sorted "path=score,..."
+// string for comparison across catalogs. Paths and scores must agree;
+// result order may not, because an incrementally maintained catalog
+// assigns different FileIDs (the tie-breaker) than a fresh build.
+func resultSet(cat *desksearch.Catalog, query string) string {
+	hits, err := cat.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := make([]string, len(hits))
+	for i, h := range hits {
+		lines[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ",")
 }

@@ -1,0 +1,403 @@
+package desksearch
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"desksearch/internal/vfs"
+)
+
+// resultSet canonicalizes a query's hits as sorted "path=score" strings:
+// an incrementally updated catalog assigns different FileIDs (the ranking
+// tie-breaker) than a fresh build, so paths and scores must agree but
+// order within a score band may not.
+func resultSet(t *testing.T, cat *Catalog, query string) []string {
+	t.Helper()
+	hits, err := cat.Search(query)
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestUpdateNotQueryRegression(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the NOT universe, then delete a file through Update.
+	if hits, _ := cat.Search("-milk"); len(hits) == 0 {
+		t.Fatal("priming query empty")
+	}
+	if err := fs.Remove("work/report.txt"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cat.Update(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 {
+		t.Fatalf("stats = %+v, want one deletion", st)
+	}
+	for _, q := range []string{"-milk", "-quarterly", "report"} {
+		for _, line := range resultSet(t, cat, q) {
+			if strings.HasPrefix(line, "work/report.txt=") {
+				t.Errorf("%q returned deleted file", q)
+			}
+		}
+	}
+	if s := cat.Stats(); s.Files != 7 {
+		t.Errorf("Files = %d after deletion, want 7", s.Files)
+	}
+}
+
+// TestUpdateMatchesRebuildProperty is the acceptance property: a catalog
+// driven through random churn with Catalog.Update must answer every query
+// exactly like a catalog freshly built from the final tree — across
+// pipeline implementations and partition shapes.
+func TestUpdateMatchesRebuildProperty(t *testing.T) {
+	configs := []Options{
+		{Implementation: Sequential},
+		{Implementation: Sequential, Shards: 4},
+		{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 2},
+		{Implementation: SharedIndex, Extractors: 3, Shards: 3},
+	}
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	queries := []string{
+		"alpha", "beta OR gamma", "delta -alpha", "-zeta",
+		"(alpha OR beta) -gamma", "eta theta", "-alpha -beta",
+	}
+	content := func(rng *rand.Rand) string {
+		n := 1 + rng.Intn(5)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(words, " ")
+	}
+
+	for ci, opt := range configs {
+		t.Run(fmt.Sprintf("config-%d", ci), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + ci)))
+			fs := vfs.NewMemFS()
+			live := []string{}
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("dir%d/f%02d.txt", i%5, i)
+				if err := fs.WriteFile(name, []byte(content(rng))); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, name)
+			}
+			cat, err := IndexFS(fs, ".", opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			next := 30
+			for round := 0; round < 6; round++ {
+				// Random churn: a few modifies, deletes, and adds.
+				for i := 0; i < 4; i++ {
+					switch op := rng.Intn(3); {
+					case op == 0 || len(live) < 5: // add
+						name := fmt.Sprintf("dir%d/f%02d.txt", next%5, next)
+						next++
+						fs.WriteFile(name, []byte(content(rng)))
+						live = append(live, name)
+					case op == 1: // modify
+						fs.WriteFile(live[rng.Intn(len(live))], []byte(content(rng)))
+					default: // delete
+						k := rng.Intn(len(live))
+						fs.Remove(live[k])
+						live = append(live[:k], live[k+1:]...)
+					}
+				}
+				if _, err := cat.Update(fs, "."); err != nil {
+					t.Fatal(err)
+				}
+				rebuilt, err := IndexFS(fs, ".", opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range queries {
+					got := resultSet(t, cat, q)
+					want := resultSet(t, rebuilt, q)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d %q:\nincremental %v\nrebuild     %v", round, q, got, want)
+					}
+				}
+				if gs, ws := cat.Stats(), rebuilt.Stats(); gs.Files != ws.Files {
+					t.Fatalf("round %d: Files %d vs rebuild %d", round, gs.Files, ws.Files)
+				}
+			}
+		})
+	}
+}
+
+// segmentState fingerprints every file in a catalog directory.
+func segmentState(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = fmt.Sprintf("%d:%x", len(data), fnvSum(data))
+	}
+	return out
+}
+
+func fnvSum(data []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range data {
+		h = (h * 1099511628211) ^ uint64(b)
+	}
+	return h
+}
+
+// TestSaveDirUpdateRoundTrip covers the ISSUE's persistence checklist:
+// SaveDir → LoadDir → Update → SaveDir. With no churn the second save must
+// leave every file byte-identical to the first (the manifest re-encodes to
+// the same bytes, segments are not rewritten at all); with churn, only the
+// dirty segments plus the manifest may change on disk.
+func TestSaveDirUpdateRoundTrip(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := cat.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	before := segmentState(t, dir)
+
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No churn: Update is a no-op and a re-save reproduces every byte.
+	st, err := loaded.Update(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (UpdateStats{}) {
+		t.Fatalf("no-op update stats = %+v", st)
+	}
+	if got := loaded.DirtySegments(); got != 0 {
+		t.Fatalf("no-op update dirtied %d segments", got)
+	}
+	if err := loaded.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if after := segmentState(t, dir); !reflect.DeepEqual(after, before) {
+		t.Errorf("no-op save changed bytes on disk:\nbefore %v\nafter  %v", before, after)
+	}
+
+	// Churn one file: exactly the owning segment and the manifest change.
+	if err := fs.WriteFile("misc/recipe.txt", []byte("pancakes with oat milk and flour")); err != nil {
+		t.Fatal(err)
+	}
+	st, err = loaded.Update(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Modified != 1 || st.Added != 0 || st.Deleted != 0 {
+		t.Fatalf("churn stats = %+v", st)
+	}
+	dirty := loaded.DirtySegments()
+	if dirty != 1 {
+		t.Fatalf("one-file modify dirtied %d segments, want 1", dirty)
+	}
+	if err := loaded.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	after := segmentState(t, dir)
+	changed := []string{}
+	for name, sum := range after {
+		if before[name] != sum {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	// The manifest always rewrites (its file table gained a new mtime);
+	// exactly one segment may have changed alongside it.
+	wantChanged := 2
+	if len(changed) != wantChanged || changed[1] != "manifest.dsix" && changed[0] != "manifest.dsix" {
+		t.Errorf("changed files = %v, want manifest + 1 segment", changed)
+	}
+
+	// And the reloaded result must equal a fresh build of the final tree.
+	rebuilt, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"report", "milk OR flour", "quarterly -draft", "-milk", "oat"} {
+		want := resultSet(t, rebuilt, q)
+		if got := resultSet(t, loaded, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: updated %v, rebuild %v", q, got, want)
+		}
+		if got := resultSet(t, reloaded, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: reloaded %v, rebuild %v", q, got, want)
+		}
+	}
+}
+
+// TestConcurrentSearchAndCatalogUpdate races queries against incremental
+// updates at the public API level; meaningful under -race.
+func TestConcurrentSearchAndCatalogUpdate(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queries := []string{"report", "-milk", "quarterly OR flour"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cat.Search(queries[i%len(queries)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Persistence state readers/writers race the updates too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dir := t.TempDir()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = cat.DirtySegments()
+			if i%5 == 0 {
+				if err := cat.SaveDir(dir); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 25; i++ {
+			name := fmt.Sprintf("churn/f%d.txt", i%5)
+			if err := fs.WriteFile(name, []byte(fmt.Sprintf("report revision %d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := cat.Update(fs, "."); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestApplyTwiceIsIdempotent: a caller retrying Apply with the same
+// changeset must not duplicate files or postings.
+func TestApplyTwiceIsIdempotent(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("notes/extra.txt", []byte("report appendix")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("misc/numbers.txt"); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cat.Diff(fs, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Apply(fs, cs); err != nil {
+		t.Fatal(err)
+	}
+	once := cat.Stats()
+	st, err := cat.Apply(fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 0 || st.Deleted != 0 {
+		t.Errorf("second apply stats = %+v, want no adds or deletes", st)
+	}
+	if twice := cat.Stats(); twice != once {
+		t.Errorf("stats changed on double apply: %+v vs %+v", twice, once)
+	}
+	rebuilt, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"report", "appendix", "-milk", "2024"} {
+		got, want := resultSet(t, cat, q), resultSet(t, rebuilt, q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q after double apply: %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestUpdateDirOnHostFS(t *testing.T) {
+	dir := t.TempDir()
+	fs := vfs.NewOSFS(dir)
+	if err := fs.WriteFile("a/one.txt", []byte("desktop search rules")); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := IndexDir(dir, Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a/two.txt", []byte("brand new document")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cat.UpdateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	hits, err := cat.Search("brand")
+	if err != nil || len(hits) != 1 || hits[0].Path != "a/two.txt" {
+		t.Errorf("hits = %v, %v", hits, err)
+	}
+}

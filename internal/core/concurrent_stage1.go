@@ -87,7 +87,7 @@ func RunConcurrentStage1(fsys vfs.FS, root string, extractors int, opts extract.
 				}
 				continue
 			}
-			id := table.Add(child, e.Size)
+			id := table.Add(child, e.Size, e.ModTime)
 			jobs <- job{path: child, id: id}
 		}
 		return nil

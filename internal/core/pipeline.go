@@ -108,7 +108,7 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 	table := index.NewFileTable()
 	jobs := make([]job, len(files))
 	for i, f := range files {
-		jobs[i] = job{ref: f, id: table.Add(f.Path, f.Size)}
+		jobs[i] = job{ref: f, id: table.Add(f.Path, f.Size, f.ModTime)}
 	}
 	res.Files = table
 	res.Timings.FilenameGen = time.Since(startTotal)

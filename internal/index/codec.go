@@ -18,20 +18,27 @@ import (
 //
 // and differ in the payload:
 //
-//	version 1 (full index):     file table | term section
+//	version 4 (full index):     file table | term section
 //	version 2 (shard segment):  term section only — the file table lives in
 //	                            the shard manifest (see internal/shard)
-//	version 3 (shard manifest): file table | segment directory, written and
+//	version 5 (shard manifest): file table | segment directory, written and
 //	                            read by internal/shard over this package's
 //	                            exported frame helpers
 //
 // where the file table is
 //
-//	uvarint fileCount | fileCount × (uvarint pathLen | path bytes | uvarint size)
+//	uvarint fileCount | fileCount × (uvarint pathLen | path bytes |
+//	                                 uvarint size | uvarint mtime | u8 flags)
 //
-// and the term section is
+// (flags bit 0 set = live; clear = tombstone of a deleted file whose ID is
+// retired but never reused), and the term section is
 //
 //	uvarint termCount | termCount × (uvarint termLen | term bytes | posting-list varint encoding)
+//
+// Versions 1 and 3 were the pre-incremental forms of the full index and the
+// manifest, whose file tables carried neither modification stamps nor
+// tombstones; the version bump retires them rather than guessing at missing
+// change-detection state.
 //
 // A desktop search tool persists its index between sessions; this codec is
 // that persistence layer for cmd/indexgen and cmd/dsearch.
@@ -39,11 +46,11 @@ import (
 const (
 	codecMagic = "DSIX"
 	// codecVersion is the full single-file form: file table + term section.
-	codecVersion = 1
+	codecVersion = 4
 	// SegmentVersion is the shard segment form: the term section alone.
 	SegmentVersion = 2
 	// ManifestVersion is the shard manifest form (internal/shard).
-	ManifestVersion = 3
+	ManifestVersion = 5
 	// maxCount bounds file/term/posting counts against corrupt headers.
 	maxCount = 1 << 31
 )
@@ -157,16 +164,32 @@ func ReadString(br *bytes.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// WriteFileTable writes the file-table payload section.
+// fileLiveFlag marks a live (non-tombstoned) file-table entry on disk.
+const fileLiveFlag = 1
+
+// WriteFileTable writes the file-table payload section, tombstones
+// included: retired FileIDs must survive a save/load cycle so that posting
+// IDs stay aligned and deleted files stay deleted.
 func WriteFileTable(bw *bufio.Writer, files *FileTable) error {
 	if err := WriteUvarint(bw, uint64(files.Len())); err != nil {
 		return err
 	}
 	for id, path := range files.Paths() {
+		fid := postings.FileID(id)
 		if err := WriteString(bw, path); err != nil {
 			return err
 		}
-		if err := WriteUvarint(bw, uint64(files.Size(postings.FileID(id)))); err != nil {
+		if err := WriteUvarint(bw, uint64(files.Size(fid))); err != nil {
+			return err
+		}
+		if err := WriteUvarint(bw, uint64(files.ModTime(fid))); err != nil {
+			return err
+		}
+		var flags byte
+		if files.Live(fid) {
+			flags |= fileLiveFlag
+		}
+		if err := bw.WriteByte(flags); err != nil {
 			return err
 		}
 	}
@@ -192,7 +215,18 @@ func ReadFileTable(br *bytes.Reader) (*FileTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: file %d size: %w", i, err)
 		}
-		files.Add(path, int64(size))
+		mtime, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: file %d mtime: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("index: file %d flags: %w", i, err)
+		}
+		id := files.Add(path, int64(size), int64(mtime))
+		if flags&fileLiveFlag == 0 {
+			files.Tombstone(id)
+		}
 	}
 	return files, nil
 }

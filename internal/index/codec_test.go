@@ -15,7 +15,7 @@ func buildSampleIndex(rng *rand.Rand, nFiles, vocab int) (*Index, *FileTable) {
 	ft := NewFileTable()
 	ix := New(0)
 	for f := 0; f < nFiles; f++ {
-		id := ft.Add(fmt.Sprintf("dir%d/file%d.txt", f%4, f), int64(100+f))
+		id := ft.Add(fmt.Sprintf("dir%d/file%d.txt", f%4, f), int64(100+f), int64(f+1))
 		n := 1 + rng.Intn(10)
 		if n > vocab {
 			n = vocab

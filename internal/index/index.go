@@ -17,22 +17,38 @@ import (
 	"desksearch/internal/postings"
 )
 
-// FileTable maps FileIDs to file paths. Stage 1 builds it once before
-// extraction starts; it is immutable afterwards and safely shared by all
-// replicas and query threads.
+// FileTable maps FileIDs to file paths. Stage 1 builds it before extraction
+// starts; batch builds never mutate it afterwards, so it is safely shared by
+// all replicas and query threads. Incremental maintenance (internal/delta)
+// does mutate it — registering new files and tombstoning deleted ones — and
+// must do so under the search engine's maintenance lock.
+//
+// FileIDs are never reused: a deleted file keeps its slot as a tombstone
+// (Live reports false) and a re-created path gets a fresh ID. That keeps
+// every posting list ever written valid and makes removal idempotent.
 type FileTable struct {
-	paths []string
-	sizes []int64
+	paths  []string
+	sizes  []int64
+	mtimes []int64
+	dead   []bool // tombstones; nil-safe via Live
+	nDead  int
+	byPath map[string]postings.FileID // live paths only
 }
 
 // NewFileTable returns an empty table.
-func NewFileTable() *FileTable { return &FileTable{} }
+func NewFileTable() *FileTable {
+	return &FileTable{byPath: make(map[string]postings.FileID)}
+}
 
-// Add appends a file and returns its ID.
-func (t *FileTable) Add(path string, size int64) postings.FileID {
+// Add appends a live file and returns its ID. mtime is the modification
+// stamp change detection compares (vfs.DirEntry.ModTime).
+func (t *FileTable) Add(path string, size, mtime int64) postings.FileID {
 	id := postings.FileID(len(t.paths))
 	t.paths = append(t.paths, path)
 	t.sizes = append(t.sizes, size)
+	t.mtimes = append(t.mtimes, mtime)
+	t.dead = append(t.dead, false)
+	t.byPath[path] = id
 	return id
 }
 
@@ -42,11 +58,59 @@ func (t *FileTable) Path(id postings.FileID) string { return t.paths[id] }
 // Size returns the recorded byte size for id.
 func (t *FileTable) Size(id postings.FileID) int64 { return t.sizes[id] }
 
-// Len returns the number of files.
+// ModTime returns the recorded modification stamp for id.
+func (t *FileTable) ModTime(id postings.FileID) int64 { return t.mtimes[id] }
+
+// SetMeta updates the recorded size and modification stamp for id, the
+// bookkeeping half of re-indexing a modified file.
+func (t *FileTable) SetMeta(id postings.FileID, size, mtime int64) {
+	t.sizes[id] = size
+	t.mtimes[id] = mtime
+}
+
+// Live reports whether id is a live file (not tombstoned).
+func (t *FileTable) Live(id postings.FileID) bool { return !t.dead[id] }
+
+// Tombstone marks id deleted, freeing its path for re-registration under a
+// new ID. Tombstoning an already-dead ID is a no-op.
+func (t *FileTable) Tombstone(id postings.FileID) {
+	if t.dead[id] {
+		return
+	}
+	t.dead[id] = true
+	t.nDead++
+	if cur, ok := t.byPath[t.paths[id]]; ok && cur == id {
+		delete(t.byPath, t.paths[id])
+	}
+}
+
+// Lookup returns the live file registered under path, if any. Tombstoned
+// files are not found: a deleted-then-recreated path is a new file.
+func (t *FileTable) Lookup(path string) (postings.FileID, bool) {
+	id, ok := t.byPath[path]
+	return id, ok
+}
+
+// Len returns the number of table slots, tombstones included — the
+// exclusive upper bound of every FileID ever issued.
 func (t *FileTable) Len() int { return len(t.paths) }
 
-// Paths returns all paths indexed by FileID. Callers must not modify the
-// returned slice.
+// LiveCount returns the number of live (non-tombstoned) files.
+func (t *FileTable) LiveCount() int { return len(t.paths) - t.nDead }
+
+// LiveIDs appends the IDs of all live files to dst in ascending order and
+// returns it — the universe a NOT query complements against.
+func (t *FileTable) LiveIDs(dst []postings.FileID) []postings.FileID {
+	for id := range t.paths {
+		if !t.dead[id] {
+			dst = append(dst, postings.FileID(id))
+		}
+	}
+	return dst
+}
+
+// Paths returns all paths indexed by FileID, tombstoned slots included.
+// Callers must not modify the returned slice.
 func (t *FileTable) Paths() []string { return t.paths }
 
 // Index is an inverted index. It is not safe for concurrent mutation; use

@@ -17,8 +17,8 @@ func TestFileTable(t *testing.T) {
 	if ft.Len() != 0 {
 		t.Fatal("fresh table not empty")
 	}
-	a := ft.Add("docs/a.txt", 100)
-	b := ft.Add("docs/b.txt", 200)
+	a := ft.Add("docs/a.txt", 100, 11)
+	b := ft.Add("docs/b.txt", 200, 22)
 	if a != 0 || b != 1 {
 		t.Errorf("ids = %d, %d", a, b)
 	}

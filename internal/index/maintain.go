@@ -18,14 +18,29 @@ import (
 // file → terms direction); that is the structural price of the paper's
 // design and the reason desktop search tools batch deletions.
 func (ix *Index) RemoveFile(id postings.FileID) int {
+	return ix.RemoveFiles(postings.FromIDs([]postings.FileID{id}))
+}
+
+// RemoveFiles deletes every posting of every file in victims and returns
+// the number of postings removed. One scan over the term map handles the
+// whole batch, which is how the incremental update path (internal/delta)
+// amortizes the full-scan price of removal across a changeset; it is also
+// why removing files absent from this index — routine when a catalog's
+// partitions are scanned in parallel and only one owns the file — costs
+// only the scan.
+func (ix *Index) RemoveFiles(victims *postings.List) int {
+	if victims == nil || victims.Len() == 0 {
+		return 0
+	}
 	removed := 0
 	var emptied []string
 	ix.terms.Range(func(term string, l *postings.List) bool {
-		if !l.Contains(id) {
+		rest := postings.Difference(l, victims)
+		hit := l.Len() - rest.Len()
+		if hit == 0 {
 			return true
 		}
-		rest := postings.Difference(l, postings.FromIDs([]postings.FileID{id}))
-		removed++
+		removed += hit
 		if rest.Len() == 0 {
 			emptied = append(emptied, term)
 			return true
@@ -66,6 +81,42 @@ func (ix *Index) TopTerms(n int) []TermCount {
 		all = append(all, TermCount{Term: term, Files: l.Len()})
 		return true
 	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Files != all[j].Files {
+			return all[i].Files > all[j].Files
+		}
+		return all[i].Term < all[j].Term
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// TopTermsAcross returns the n most frequent terms by document count over a
+// set of document-disjoint partitions (replicas or shards), most frequent
+// first with ties broken alphabetically. Because each file lives in exactly
+// one partition, per-partition document counts add; aggregating them costs
+// one pass over each partition's term map and a count per distinct term —
+// no posting list is cloned, merged, or joined.
+func TopTermsAcross(parts []*Index, n int) []TermCount {
+	if n <= 0 || len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0].TopTerms(n)
+	}
+	counts := make(map[string]int)
+	for _, ix := range parts {
+		ix.Range(func(term string, l *postings.List) bool {
+			counts[term] += l.Len()
+			return true
+		})
+	}
+	all := make([]TermCount, 0, len(counts))
+	for term, files := range counts {
+		all = append(all, TermCount{Term: term, Files: files})
+	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Files != all[j].Files {
 			return all[i].Files > all[j].Files

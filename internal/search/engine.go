@@ -25,6 +25,12 @@ type Hit struct {
 // by document, which is all the engine relies on. It is the paper's
 // Implementation 3 made whole: "the search can work with multiple indices
 // in parallel".
+//
+// Queries may run concurrently with each other. Mutating the underlying
+// indices or file table — the incremental-update path — must go through
+// Maintain, which excludes in-flight queries and drops the cached
+// per-partition universes that would otherwise keep answering for deleted
+// files.
 type Engine struct {
 	files   *index.FileTable
 	indices []*index.Index
@@ -32,7 +38,12 @@ type Engine struct {
 	// Off, partitions are searched sequentially (the ablation baseline).
 	Parallel bool
 
-	uniOnce   sync.Once
+	// mu guards the indices, the file table, and the universe cache:
+	// queries hold it shared, Maintain holds it exclusively.
+	mu sync.RWMutex
+	// universes caches, per index, the posting list of files that index is
+	// responsible for (the complement base for NOT); nil means not yet
+	// computed or invalidated by an update.
 	universes []*postings.List
 }
 
@@ -46,13 +57,57 @@ func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
 // Indices returns the number of indices the engine consults.
 func (e *Engine) Indices() int { return len(e.indices) }
 
+// Maintain runs f — an index or file-table mutation — with every query
+// excluded, then invalidates the cached universes. It is the write side of
+// the engine's read-write discipline: incremental updates route their
+// commit phase through Maintain so a concurrent Search never observes a
+// half-applied changeset or a stale NOT universe.
+func (e *Engine) Maintain(f func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f()
+	e.universes = nil
+}
+
+// View runs f with updates excluded but queries admitted — the read-side
+// companion to Maintain for callers that walk the indices outside Search
+// (statistics, persistence).
+func (e *Engine) View(f func()) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	f()
+}
+
+// Invalidate drops the cached universes so the next query recomputes them.
+// Callers that mutate the indices without going through Maintain (and
+// therefore accept the concurrency hazard) must at least Invalidate, or
+// NOT queries keep matching deleted files.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	e.universes = nil
+	e.mu.Unlock()
+}
+
 // Search evaluates q and returns hits sorted by descending score, then
 // ascending file ID. With more than one partition the query fans out to one
 // goroutine per partition; each evaluates, scores, and ranks its own hits,
 // and the already-ranked per-partition lists are then merged — the sort
 // happens inside the fan-out instead of globally afterwards.
 func (e *Engine) Search(q *Query) []Hit {
-	unis := e.indexUniverses()
+	e.mu.RLock()
+	for e.universes == nil {
+		// Upgrade to the write lock to fill the cache, then downgrade and
+		// re-check: an update may have slipped in between the two locks.
+		e.mu.RUnlock()
+		e.mu.Lock()
+		if e.universes == nil {
+			e.universes = e.computeUniverses()
+		}
+		e.mu.Unlock()
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
+	unis := e.universes
 	ranked := make([][]Hit, len(e.indices))
 	if e.Parallel && len(e.indices) > 1 {
 		var wg sync.WaitGroup
@@ -138,45 +193,44 @@ func (e *Engine) SearchString(text string) ([]Hit, error) {
 	return e.Search(q), nil
 }
 
-// indexUniverses returns, per index, the posting list of files that index
-// is responsible for — the complement base for NOT.
+// computeUniverses builds, per index, the posting list of files that index
+// is responsible for — the complement base for NOT. The caller must hold
+// e.mu exclusively.
 //
-// With one index that is simply every file. With replicas, each file's
-// block went to exactly one replica, so replica i's universe is the union
-// of its posting lists; files that appear in no replica at all (term-free
-// files) are assigned to replica 0 so that "NOT anything" still finds
-// them exactly once.
-func (e *Engine) indexUniverses() []*postings.List {
-	e.uniOnce.Do(func() {
-		e.universes = make([]*postings.List, len(e.indices))
-		if len(e.indices) == 1 {
-			e.universes[0] = e.allFiles()
-			return
-		}
-		covered := &postings.List{}
-		for i, ix := range e.indices {
-			u := &postings.List{}
-			ix.Range(func(_ string, l *postings.List) bool {
-				u.Merge(l.Clone())
-				return true
-			})
-			e.universes[i] = u
-			covered.Merge(u.Clone())
-		}
-		orphans := postings.Difference(e.allFiles(), covered)
-		if orphans.Len() > 0 && len(e.universes) > 0 {
-			e.universes[0].Merge(orphans)
-		}
-	})
-	return e.universes
+// With one index that is simply every live file. With replicas, each
+// file's block went to exactly one replica, so replica i's universe is the
+// union of its posting lists; live files that appear in no replica at all
+// (term-free files) are assigned to replica 0 so that "NOT anything" still
+// finds them exactly once. Tombstoned files are excluded throughout —
+// their postings are gone from every partition, and allFiles skips them —
+// so a deleted file can never resurface through a negated query.
+func (e *Engine) computeUniverses() []*postings.List {
+	universes := make([]*postings.List, len(e.indices))
+	if len(e.indices) == 1 {
+		universes[0] = e.allFiles()
+		return universes
+	}
+	covered := &postings.List{}
+	for i, ix := range e.indices {
+		u := &postings.List{}
+		ix.Range(func(_ string, l *postings.List) bool {
+			u.Merge(l.Clone())
+			return true
+		})
+		universes[i] = u
+		covered.Merge(u.Clone())
+	}
+	orphans := postings.Difference(e.allFiles(), covered)
+	if orphans.Len() > 0 && len(universes) > 0 {
+		universes[0].Merge(orphans)
+	}
+	return universes
 }
 
+// allFiles returns the live files — tombstones of deleted files keep their
+// IDs but must not appear in any query result.
 func (e *Engine) allFiles() *postings.List {
-	ids := make([]postings.FileID, e.files.Len())
-	for i := range ids {
-		ids[i] = postings.FileID(i)
-	}
-	return postings.FromIDs(ids)
+	return postings.FromSortedIDs(e.files.LiveIDs(nil))
 }
 
 // searchOne evaluates q against a single index and scores its matches.
@@ -207,6 +261,10 @@ func (e *Engine) searchOne(ix *index.Index, universe *postings.List, q *Query) [
 }
 
 // eval computes the posting list of files satisfying n within one index.
+// Every list it returns is owned by the caller: term lookups are cloned at
+// the boundary rather than aliased to the index's live storage, so a
+// result can never be mutated out from under its consumer by a concurrent
+// incremental update committed after the query finishes.
 func eval(ix *index.Index, n node, universe *postings.List) *postings.List {
 	switch v := n.(type) {
 	case termNode:
@@ -214,7 +272,7 @@ func eval(ix *index.Index, n node, universe *postings.List) *postings.List {
 		if l == nil {
 			return &postings.List{}
 		}
-		return l
+		return l.Clone()
 	case andNode:
 		acc := eval(ix, v.kids[0], universe)
 		for _, k := range v.kids[1:] {

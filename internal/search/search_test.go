@@ -34,7 +34,7 @@ func fixture() (*index.FileTable, *index.Index, []*index.Index) {
 	single := index.New(0)
 	replicas := []*index.Index{index.New(0), index.New(0), index.New(0)}
 	for i, terms := range docs {
-		id := files.Add("doc"+string(rune('0'+i))+".txt", int64(10*i))
+		id := files.Add("doc"+string(rune('0'+i))+".txt", int64(10*i), int64(i+1))
 		single.AddBlock(id, terms)
 		replicas[i%3].AddBlock(id, terms)
 	}
@@ -268,7 +268,7 @@ func TestReplicaEquivalenceQuick(t *testing.T) {
 					terms = append(terms, w)
 				}
 			}
-			id := files.Add("f", int64(i))
+			id := files.Add("f", int64(i), int64(i+1))
 			single.AddBlock(id, terms)
 			replicas[i%r].AddBlock(id, terms)
 		}

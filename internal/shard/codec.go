@@ -50,15 +50,30 @@ func SegmentName(i int) string { return fmt.Sprintf("shard-%04d.dsix", i) }
 // any pre-existing index untouched, and a crash during the renames is
 // caught at load time by the manifest's per-segment checksums rather than
 // serving mixed data.
+//
+// A set previously loaded from or saved to the same directory rewrites
+// only its dirty segments: clean segments keep their on-disk files, whose
+// recorded checksums are carried into the fresh manifest unchanged. The
+// manifest itself — file table plus segment directory — is always
+// rewritten. That is the incremental-update fast path: a small changeset
+// dirties few shards, so most segment bytes are never touched.
 func SaveDir(dir string, s *Set) error {
+	dir = filepath.Clean(dir)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	const stage = ".tmp"
 	sums := make([]uint64, s.Len())
+	written := make([]bool, s.Len())
 	errs := make([]error, s.Len())
+	clean := s.cleanSums(dir)
 	var wg sync.WaitGroup
 	for i, ix := range s.shards {
+		if clean[i] != nil {
+			sums[i] = *clean[i]
+			continue
+		}
+		written[i] = true
 		wg.Add(1)
 		go func(i int, ix *index.Index) {
 			defer wg.Done()
@@ -75,6 +90,9 @@ func SaveDir(dir string, s *Set) error {
 		return err
 	}
 	for i := 0; i < s.Len(); i++ {
+		if !written[i] {
+			continue
+		}
 		name := filepath.Join(dir, SegmentName(i))
 		if err := os.Rename(name+stage, name); err != nil {
 			return fmt.Errorf("shard: segment %d: %w", i, err)
@@ -85,6 +103,7 @@ func SaveDir(dir string, s *Set) error {
 		return fmt.Errorf("shard: manifest: %w", err)
 	}
 	removeStaleSegments(dir, s.Len())
+	s.markSaved(dir, sums)
 	return nil
 }
 
@@ -244,7 +263,22 @@ func LoadDir(dir string) (*Set, error) {
 			return nil, fmt.Errorf("shard: segment %s: %w", m.names[i], err)
 		}
 	}
-	return New(m.files, shards), nil
+	set := New(m.files, shards)
+	// Remember where the segments live and their checksums, so a later
+	// SaveDir back into the same directory rewrites only dirty ones. Only
+	// canonically named segments qualify: SaveDir writes SegmentName(i),
+	// so a manifest with foreign names cannot vouch for those files.
+	canonical := true
+	for i, name := range m.names {
+		if name != SegmentName(i) {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		set.markSaved(filepath.Clean(dir), m.sums)
+	}
+	return set, nil
 }
 
 func loadSegmentFile(path string, wantSum uint64) (*index.Index, error) {

@@ -24,15 +24,92 @@ import (
 // file table. Every posting of a given file lives in exactly one shard, so
 // a query fanned out over all shards sees each file once and the merged
 // hits equal a single-index search.
+//
+// A set additionally tracks per-shard persistence state for incremental
+// saves: which directory it was last saved to or loaded from, each
+// segment's whole-file checksum there, and which shards have been dirtied
+// by in-place updates since. SaveDir consults that state to rewrite only
+// dirty segments.
 type Set struct {
 	files  *index.FileTable
 	shards []*index.Index
+
+	// persistMu guards the persistence state below: SaveDir (reading and
+	// rewriting it) may run concurrently with MarkDirty from an update
+	// commit or a DirtyCount poll.
+	persistMu sync.Mutex
+	// savedDir is the directory the set's segments were last persisted in
+	// ("" for a set never saved or loaded), savedSums the per-segment
+	// whole-file checksums recorded there, and dirty the per-shard
+	// modified-since flags. dirty == nil means everything is dirty (a
+	// freshly built set).
+	savedDir  string
+	savedSums []uint64
+	dirty     []bool
 }
 
 // New returns a set over the given partitions. The caller guarantees the
 // partitions are document-disjoint; FromReplicas and Distribute both do.
 func New(files *index.FileTable, shards []*index.Index) *Set {
 	return &Set{files: files, shards: shards}
+}
+
+// MarkDirty records that shard i has been modified in place since it was
+// last persisted, so the next SaveDir rewrites its segment. It matches the
+// delta.Target.OnDirty hook.
+func (s *Set) MarkDirty(i int) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.dirty != nil {
+		s.dirty[i] = true
+	}
+}
+
+// DirtyCount reports how many segments the next SaveDir to the same
+// directory would rewrite. A set never persisted is entirely dirty.
+func (s *Set) DirtyCount() int {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.dirty == nil {
+		return len(s.shards)
+	}
+	n := 0
+	for _, d := range s.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// cleanSums returns, for a save into dir, the checksums of the segments
+// whose on-disk files are already current (nil entries mean "rewrite").
+// The snapshot is taken under the persistence lock so a concurrent
+// MarkDirty cannot tear it mid-save.
+func (s *Set) cleanSums(dir string) []*uint64 {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	out := make([]*uint64, len(s.shards))
+	if s.dirty == nil || s.savedDir == "" || s.savedDir != dir {
+		return out
+	}
+	for i := range s.shards {
+		if !s.dirty[i] {
+			sum := s.savedSums[i]
+			out[i] = &sum
+		}
+	}
+	return out
+}
+
+// markSaved records a successful save of every segment under dir with the
+// given checksums.
+func (s *Set) markSaved(dir string, sums []uint64) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.savedDir = dir
+	s.savedSums = sums
+	s.dirty = make([]bool, len(s.shards))
 }
 
 // Files returns the shared file table.

@@ -27,7 +27,7 @@ func buildCorpus(t testing.TB) (*index.FileTable, *index.Index, [][]string) {
 	files := index.NewFileTable()
 	ix := index.New(16)
 	for i, terms := range blocks {
-		id := files.Add("file-"+string(rune('a'+i)), int64(len(terms)))
+		id := files.Add("file-"+string(rune('a'+i)), int64(len(terms)), int64(i+1))
 		ix.AddBlock(id, terms)
 	}
 	return files, ix, blocks

@@ -35,6 +35,12 @@ type DirEntry struct {
 	Name  string // base name within the directory
 	IsDir bool
 	Size  int64 // file size in bytes; 0 for directories
+	// ModTime is the file's last-modification stamp: Unix nanoseconds for
+	// OSFS, a monotonic per-filesystem write counter for MemFS (so change
+	// detection stays deterministic in tests), and 0 for directories.
+	// Incremental index maintenance compares it, together with Size, to
+	// decide whether a file changed since it was indexed.
+	ModTime int64
 }
 
 // FS is the filesystem seen by the index generator. Paths are
@@ -67,6 +73,7 @@ type WriteFS interface {
 // memNode is a file or directory in a MemFS.
 type memNode struct {
 	data     []byte
+	mtime    int64               // write-counter stamp; 0 for directories
 	children map[string]*memNode // nil for files
 }
 
@@ -77,6 +84,11 @@ type memNode struct {
 type MemFS struct {
 	mu   sync.RWMutex
 	root *memNode
+	// clock stamps writes with a monotonically increasing counter, the
+	// in-memory stand-in for a modification time: deterministic across
+	// runs, strictly increasing across writes, bumped even when a file is
+	// rewritten with identical content (like a real mtime).
+	clock int64
 }
 
 // NewMemFS returns an empty in-memory filesystem.
@@ -184,6 +196,7 @@ func (m *MemFS) ReadDir(name string) ([]DirEntry, error) {
 		e := DirEntry{Name: base, IsDir: child.children != nil}
 		if !e.IsDir {
 			e.Size = int64(len(child.data))
+			e.ModTime = child.mtime
 		}
 		out = append(out, e)
 	}
@@ -207,6 +220,7 @@ func (m *MemFS) Stat(name string) (DirEntry, error) {
 	e := DirEntry{Name: base, IsDir: n.children != nil}
 	if !e.IsDir {
 		e.Size = int64(len(n.data))
+		e.ModTime = n.mtime
 	}
 	return e, nil
 }
@@ -238,7 +252,37 @@ func (m *MemFS) WriteFile(name string, data []byte) error {
 	if existing, ok := n.children[base]; ok && existing.children != nil {
 		return fmt.Errorf("%w: %s", ErrIsDirectory, name)
 	}
-	n.children[base] = &memNode{data: data}
+	m.clock++
+	n.children[base] = &memNode{data: data, mtime: m.clock}
+	return nil
+}
+
+// Remove deletes the named file or (recursively) directory. Removing a
+// missing path is an error, matching os.RemoveAll's file semantics closely
+// enough for the incremental-update tests that churn a corpus.
+func (m *MemFS) Remove(name string) error {
+	parts, err := splitPath(name)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("vfs: cannot remove root")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := n.children[p]
+		if !ok || child.children == nil {
+			return fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		n = child
+	}
+	base := parts[len(parts)-1]
+	if _, ok := n.children[base]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(n.children, base)
 	return nil
 }
 
@@ -326,6 +370,7 @@ func (o *OSFS) ReadDir(name string) ([]DirEntry, error) {
 		if !e.IsDir() {
 			if info, err := e.Info(); err == nil {
 				de.Size = info.Size()
+				de.ModTime = info.ModTime().UnixNano()
 			}
 		}
 		out = append(out, de)
@@ -351,6 +396,7 @@ func (o *OSFS) Stat(name string) (DirEntry, error) {
 	e := DirEntry{Name: info.Name(), IsDir: info.IsDir()}
 	if !e.IsDir {
 		e.Size = info.Size()
+		e.ModTime = info.ModTime().UnixNano()
 	}
 	return e, nil
 }

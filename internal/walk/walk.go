@@ -18,10 +18,12 @@ import (
 )
 
 // FileRef names one file to be indexed, with the size used by size-aware
-// work distribution strategies.
+// work distribution strategies and the modification stamp used by
+// incremental change detection (internal/delta).
 type FileRef struct {
-	Path string
-	Size int64
+	Path    string
+	Size    int64
+	ModTime int64
 }
 
 // List traverses fsys from root ("." for the whole filesystem) and returns
@@ -47,7 +49,7 @@ func walkDir(fsys vfs.FS, dir string, out *[]FileRef) error {
 			}
 			continue
 		}
-		*out = append(*out, FileRef{Path: child, Size: e.Size})
+		*out = append(*out, FileRef{Path: child, Size: e.Size, ModTime: e.ModTime})
 	}
 	return nil
 }
@@ -107,7 +109,7 @@ func ListParallel(fsys vfs.FS, root string, workers int) ([]FileRef, error) {
 						}
 						continue
 					}
-					files = append(files, FileRef{Path: child, Size: e.Size})
+					files = append(files, FileRef{Path: child, Size: e.Size, ModTime: e.ModTime})
 				}
 				if len(files) > 0 {
 					mu.Lock()
