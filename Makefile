@@ -6,7 +6,10 @@ GO ?= go
 # Pinned staticcheck version, matching .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test vet fmt lint bench ci
+# govulncheck version, matching .github/workflows/ci.yml.
+GOVULNCHECK_VERSION ?= latest
+
+.PHONY: build test vet fmt lint vuln bench ci
 
 build:
 	$(GO) build ./...
@@ -38,8 +41,23 @@ lint:
 		echo "lint: staticcheck unavailable (offline, not installed); skipping" >&2; \
 	fi
 
-# One iteration per benchmark: compile-and-run proof, no measurement.
+# govulncheck: same availability probe as lint — use the PATH binary when
+# present, otherwise fetch via `go run` (needs network once). Real findings
+# always fail the target; offline machines without the binary get a skip.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
+	else \
+		echo "vuln: govulncheck unavailable (offline, not installed); skipping" >&2; \
+	fi
+
+# One iteration per benchmark: compile-and-run proof, no measurement. The
+# top-k query benchmark runs explicitly first so the v2 retrieval path is
+# always exercised even if the full sweep is filtered down.
 bench:
+	$(GO) test -run='^$$' -bench='^BenchmarkTopKQuery$$' -benchtime=1x .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet fmt lint test bench
+ci: build vet fmt lint vuln test bench

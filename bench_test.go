@@ -20,6 +20,7 @@ package desksearch
 // speedup); live benches measure this machine.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -258,7 +259,7 @@ func BenchmarkAblationEnBloc(b *testing.B) {
 							b.Error(err)
 							return
 						}
-						shared.AddBlock(block.File, block.Terms)
+						shared.AddBlock(block.File, block.Terms, nil)
 					}
 				}(w)
 			}
@@ -607,6 +608,81 @@ func BenchmarkIncrementalSaveDir(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- top-k query retrieval ----
+
+var (
+	topkOnce sync.Once
+	topkCat  *Catalog
+	topkQ    string
+)
+
+// topkCatalog returns a shared 4-shard catalog over a large corpus
+// (≈1600 files) plus a broad OR query matching most of it — the workload
+// where bounded top-k retrieval should beat materializing and sorting
+// every hit.
+func topkCatalog(b *testing.B) (*Catalog, string) {
+	b.Helper()
+	topkOnce.Do(func() {
+		fs := vfs.NewMemFS()
+		if _, err := corpus.Generate(corpus.PaperSpec().Scale(1.0/32), fs); err != nil {
+			panic(err)
+		}
+		cat, err := IndexFS(fs, ".", Options{
+			Implementation: ReplicatedSearch, Extractors: 4, Updaters: 4, Shards: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		vocab := corpus.BuildVocabulary(corpus.PaperSpec().Scale(1.0 / 32))
+		topkCat = cat
+		topkQ = fmt.Sprintf("%s OR %s OR %s OR %s", vocab[0], vocab[1], vocab[2], vocab[3])
+	})
+	return topkCat, topkQ
+}
+
+// BenchmarkTopKQuery compares the old full-sort retrieval (Search: every
+// partition materializes and sorts its entire hit list) against the v2
+// bounded-heap path at page sizes 10 and 100. The hits-per-query metric
+// reports how much work the full sort does per request.
+func BenchmarkTopKQuery(b *testing.B) {
+	cat, q := topkCatalog(b)
+	ctx := context.Background()
+	expr, err := ParseQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := cat.Query(ctx, Query{Expr: expr, Limit: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(warm.Total), "hits/query")
+	})
+	for _, limit := range []int{10, 100} {
+		b.Run(fmt.Sprintf("limit-%d", limit), func(b *testing.B) {
+			req := Query{Expr: expr, Limit: limit}
+			for i := 0; i < b.N; i++ {
+				if _, err := cat.Query(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("limit-10-tf", func(b *testing.B) {
+		req := Query{Expr: expr, Limit: 10, Ranking: RankTF}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- facade benchmark ----

@@ -12,13 +12,20 @@
 //
 // Queries are boolean: terms AND together, OR/NOT (or a leading '-')
 // and parentheses work as expected: "quarterly report -draft".
+//
+// Retrieval runs through the v2 Query API: -n and -offset page through the
+// ranked results with bounded top-k retrieval per partition, -rank picks
+// coordination-count or term-frequency scoring, -prefix restricts hits to
+// a path prefix, and -timeout bounds the query via context cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"desksearch"
 )
@@ -29,12 +36,28 @@ func main() {
 		root      = flag.String("root", "", "index this directory before searching")
 		shards    = flag.Int("shards", 0, "with -root, partition the index into N document shards")
 		formats   = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
-		limit     = flag.Int("n", 20, "maximum results to print")
+		limit     = flag.Int("n", 20, "maximum results to return (0 = all)")
+		offset    = flag.Int("offset", 0, "skip this many ranked results (pagination)")
+		rank      = flag.String("rank", "count", "ranking mode: count (distinct matched terms) or tf (term frequency)")
+		prefix    = flag.String("prefix", "", "only return hits whose path starts with this prefix")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
+		verbose   = flag.Bool("v", false, "print per-partition match counts and timings")
 		top       = flag.Int("top", 0, "print the N most frequent terms instead of searching")
 	)
 	flag.Parse()
 	if (flag.NArg() == 0 && *top == 0) || (*indexPath == "") == (*root == "") {
 		fmt.Fprintln(os.Stderr, "usage: dsearch (-index PATH | -root DIR) [-top N] QUERY...")
+		os.Exit(2)
+	}
+
+	var ranking desksearch.Ranking
+	switch *rank {
+	case "count":
+		ranking = desksearch.RankCount
+	case "tf":
+		ranking = desksearch.RankTF
+	default:
+		fmt.Fprintf(os.Stderr, "dsearch: unknown -rank %q (want count or tf)\n", *rank)
 		os.Exit(2)
 	}
 
@@ -62,22 +85,43 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	query := strings.Join(flag.Args(), " ")
-	hits, err := cat.Search(query)
+	resp, err := cat.Query(ctx, desksearch.Query{
+		Text:       query,
+		Limit:      *limit,
+		Offset:     *offset,
+		Ranking:    ranking,
+		PathPrefix: *prefix,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if len(hits) == 0 {
+	if resp.Total == 0 {
 		fmt.Printf("no matches for %q\n", query)
 		return
 	}
-	fmt.Printf("%d matches for %q:\n", len(hits), query)
-	for i, h := range hits {
-		if i == *limit {
-			fmt.Printf("... and %d more\n", len(hits)-*limit)
-			break
-		}
+	fmt.Printf("%d matches for %q", resp.Total, query)
+	switch {
+	case len(resp.Hits) == 0:
+		fmt.Printf(" (page at offset %d is empty)", *offset)
+	case len(resp.Hits) < resp.Total:
+		fmt.Printf(" (showing %d-%d)", *offset+1, *offset+len(resp.Hits))
+	}
+	fmt.Println(":")
+	for _, h := range resp.Hits {
 		fmt.Printf("%4d. %s\n", h.Score, h.Path)
+	}
+	if *verbose {
+		for _, p := range resp.Partitions {
+			fmt.Printf("partition %d: %d matched in %s\n", p.Partition, p.Matched, p.Duration.Round(time.Microsecond))
+		}
 	}
 }
 

@@ -1,10 +1,12 @@
 package desksearch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"desksearch/internal/core"
 	"desksearch/internal/delta"
@@ -55,7 +57,30 @@ type Options struct {
 	Shards int
 }
 
+// validate rejects option values that would misbehave downstream, with a
+// descriptive error naming the field.
+func (o Options) validate() error {
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"Extractors", o.Extractors},
+		{"Updaters", o.Updaters},
+		{"Joiners", o.Joiners},
+		{"MinTermLen", o.MinTermLen},
+		{"Shards", o.Shards},
+	} {
+		if f.value < 0 {
+			return fmt.Errorf("desksearch: Options.%s must be non-negative, got %d", f.name, f.value)
+		}
+	}
+	return nil
+}
+
 func (o Options) coreConfig() (core.Config, error) {
+	if err := o.validate(); err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.Config{
 		Extractors:   o.Extractors,
 		Updaters:     o.Updaters,
@@ -100,7 +125,7 @@ func (o Options) coreConfig() (core.Config, error) {
 	return cfg, nil
 }
 
-// Result is one search hit.
+// Result is one search hit of the v1 Search API.
 type Result struct {
 	// Path is the matched file, relative to the indexed root.
 	Path string
@@ -108,12 +133,98 @@ type Result struct {
 	Score int
 }
 
+// Ranking selects how Query scores hits.
+type Ranking int
+
+const (
+	// RankCount scores a hit by how many distinct positive query terms
+	// the file contains (coordination ranking, the Search default).
+	RankCount Ranking = iota
+	// RankTF scores a hit by the summed occurrence counts of the positive
+	// query terms in the file, so a file mentioning a term many times
+	// outranks one mentioning it once.
+	RankTF
+)
+
+// Expr is a parsed query expression, reusable across Query calls.
+type Expr struct{ q *search.Query }
+
+// ParseQuery parses a boolean query ("cat dog", "cat OR dog",
+// "report -draft", parentheses allowed) into a reusable expression.
+func ParseQuery(text string) (*Expr, error) {
+	q, err := search.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{q: q}, nil
+}
+
+// String renders the expression in canonical form.
+func (e *Expr) String() string { return e.q.String() }
+
+// Query is a v2 search request: the query itself plus retrieval controls.
+// The zero controls return every hit, coordination-ranked — exactly what
+// the v1 Search returned.
+type Query struct {
+	// Text is the boolean query string, parsed with the same grammar as
+	// Search. Ignored when Expr is set.
+	Text string
+	// Expr is an optional pre-parsed expression (ParseQuery), letting hot
+	// paths skip re-parsing. Takes precedence over Text.
+	Expr *Expr
+	// Limit caps the returned hits; 0 means unlimited. With a limit, each
+	// partition retains only its local top Limit+Offset hits in a bounded
+	// heap instead of materializing and sorting its entire hit list.
+	Limit int
+	// Offset skips that many ranked hits before the returned page.
+	Offset int
+	// Ranking selects the scoring mode.
+	Ranking Ranking
+	// PathPrefix, when non-empty, restricts hits to paths starting with
+	// it; filtered-out matches do not count toward Response.Total.
+	PathPrefix string
+}
+
+// Hit is one search hit of the v2 Query API.
+type Hit struct {
+	// Path is the matched file, relative to the indexed root.
+	Path string
+	// Score ranks the hit under the request's Ranking mode.
+	Score int
+	// Terms lists the positive query terms the file contains, in query
+	// order (the first 64 positive terms are tracked).
+	Terms []string
+}
+
+// PartitionTiming is one partition's share of a query's work.
+type PartitionTiming struct {
+	// Partition is the partition's position in the catalog.
+	Partition int
+	// Matched counts the partition's matches (after path filtering,
+	// before top-k truncation); partition counts sum to Response.Total.
+	Matched int
+	// Duration is the partition's evaluation wall time.
+	Duration time.Duration
+}
+
+// Response is the result of a v2 query.
+type Response struct {
+	// Hits is the requested page, ordered by descending score then by
+	// indexing order.
+	Hits []Hit
+	// Total is the number of matches across the whole catalog — the count
+	// pagination pages through, independent of Limit/Offset.
+	Total int
+	// Partitions reports per-partition match counts and timings.
+	Partitions []PartitionTiming
+}
+
 // Stats summarizes a catalog.
 type Stats struct {
 	// Files is the number of files indexed.
 	Files int
-	// Terms is the number of distinct terms (summed across replicas, so
-	// an upper bound for ReplicatedSearch catalogs).
+	// Terms is the exact number of distinct terms across all partitions
+	// (a term present in several partitions counts once).
 	Terms int
 	// Postings is the number of (term, file) pairs.
 	Postings int64
@@ -162,30 +273,90 @@ func newCatalog(res *core.Result) *Catalog {
 	}
 }
 
-// Search runs a boolean query ("cat dog", "cat OR dog", "report -draft",
-// parentheses allowed) and returns hits ordered by score.
+// Search runs a boolean query and returns every hit ordered by score: a
+// compatibility wrapper over the Query machinery with no limit, no
+// offset, coordination ranking, and no matched-term metadata (Result
+// never carried it, so the engine is told not to build it).
+//
+// Deprecated: use Query, which adds cancellation, pagination with bounded
+// top-k retrieval, ranking modes, and per-partition metadata.
 func (c *Catalog) Search(query string) ([]Result, error) {
-	hits, err := c.engine.SearchString(query)
+	q, err := search.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Result, len(hits))
-	for i, h := range hits {
+	resp, err := c.engine.Query(context.Background(), search.Request{Query: q, OmitTerms: true})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(resp.Hits))
+	for i, h := range resp.Hits {
 		out[i] = Result{Path: h.Path, Score: h.Score}
+	}
+	return out, nil
+}
+
+// Query evaluates a v2 search request. The query fans out with one
+// goroutine per partition; each keeps only its local top Limit+Offset
+// hits in a bounded min-heap, and the per-partition ranked lists are
+// merged just until the page is full — on multi-partition catalogs a
+// Limit-10 query does a fraction of the work a full Search does. ctx
+// cancellation is honored between evaluation steps: a canceled context
+// aborts in-flight partitions and returns ctx.Err().
+func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
+	expr := q.Expr
+	if expr == nil {
+		parsed, err := ParseQuery(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		expr = parsed
+	}
+	var ranking search.Ranking
+	switch q.Ranking {
+	case RankCount:
+		ranking = search.RankCoordination
+	case RankTF:
+		ranking = search.RankTF
+	default:
+		return nil, fmt.Errorf("desksearch: unknown ranking mode %d", int(q.Ranking))
+	}
+	resp, err := c.engine.Query(ctx, search.Request{
+		Query:      expr.q,
+		Limit:      q.Limit,
+		Offset:     q.Offset,
+		Ranking:    ranking,
+		PathPrefix: q.PathPrefix,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Response{
+		Hits:       make([]Hit, len(resp.Hits)),
+		Total:      resp.Total,
+		Partitions: make([]PartitionTiming, len(resp.Partitions)),
+	}
+	for i, h := range resp.Hits {
+		out.Hits[i] = Hit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+	}
+	for i, p := range resp.Partitions {
+		out.Partitions[i] = PartitionTiming{Partition: p.Partition, Matched: p.Matched, Duration: p.Duration}
 	}
 	return out, nil
 }
 
 // Stats summarizes the catalog. Files counts live files only: a file
 // deleted by an incremental update keeps its FileID slot as a tombstone
-// but no longer counts.
+// but no longer counts. Terms is exact for every catalog shape: distinct
+// terms are counted once across partitions with the same single-pass
+// counter TopTerms aggregates with, not summed per partition.
 func (c *Catalog) Stats() Stats {
 	var out Stats
 	c.engine.View(func() {
 		s := c.result.Stats()
 		out = Stats{
 			Files:    c.result.Files.LiveCount(),
-			Terms:    s.Terms,
+			Terms:    index.DistinctTermsAcross(c.result.Indexes()),
 			Postings: s.Postings,
 			Skipped:  len(c.result.SkippedFiles),
 		}

@@ -18,10 +18,24 @@
 //
 //	cat, err := desksearch.IndexDir("/home/me/documents", desksearch.Options{})
 //	if err != nil { ... }
-//	hits, err := cat.Search("quarterly report -draft")
-//	for _, h := range hits {
-//		fmt.Println(h.Path)
+//	resp, err := cat.Query(ctx, desksearch.Query{
+//		Text:  "quarterly report -draft",
+//		Limit: 10,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(resp.Total, "matches")
+//	for _, h := range resp.Hits {
+//		fmt.Println(h.Path, h.Terms)
 //	}
+//
+// Query is the v2 search API: requests carry pagination (Limit/Offset,
+// answered with bounded per-partition top-k retrieval instead of a full
+// sort), a Ranking mode (distinct-term coordination counts or summed term
+// frequencies), and an optional path-prefix filter; responses carry the
+// page of hits with matched-term metadata, the total match count, and
+// per-partition timings. The context cancels or bounds the query. The
+// deprecated Search remains as a compatibility wrapper returning every
+// hit, coordination-ranked.
 //
 // # Sharded indexes
 //

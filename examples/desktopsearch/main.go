@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,6 +52,15 @@ func main() {
 	// terms Zipf-distributed, so low vocabulary ranks dominate).
 	vocab := corpus.BuildVocabulary(spec)
 	query := fmt.Sprintf("%s OR %s OR %s", vocab[0], vocab[1], vocab[2])
+	// A desktop UI wants one page of results, not the full hit list: ask
+	// for the top 10 and let Response.Total report the rest. Parsing once
+	// up front (ParseQuery) skips re-parsing per catalog.
+	expr, err := desksearch.ParseQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := desksearch.Query{Expr: expr, Limit: 10}
+	ctx := context.Background()
 	var firstCount = -1
 	var keep *desksearch.Catalog
 	for _, tc := range impls {
@@ -63,16 +73,16 @@ func main() {
 			log.Fatal(err)
 		}
 		_, eu, join, _, total := cat.Timings()
-		hits, err := cat.Search(query)
+		resp, err := cat.Query(ctx, page)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-42s %4d hits   extract+update %6.3fs  join %6.3fs  total %6.3fs\n",
-			tc.name, len(hits), eu, join, total)
+			tc.name, resp.Total, eu, join, total)
 		if firstCount < 0 {
-			firstCount = len(hits)
-		} else if len(hits) != firstCount {
-			log.Fatalf("implementations disagree: %d vs %d hits", len(hits), firstCount)
+			firstCount = resp.Total
+		} else if resp.Total != firstCount {
+			log.Fatalf("implementations disagree: %d vs %d hits", resp.Total, firstCount)
 		}
 		keep = cat
 	}
@@ -99,9 +109,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hits, err := loaded.Search(query)
+	resp, err := loaded.Query(ctx, page)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reloaded index answers %q with %d hits (expected %d)\n", query, len(hits), firstCount)
+	fmt.Printf("reloaded index answers %q with %d hits (expected %d)\n", query, resp.Total, firstCount)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -50,13 +51,13 @@ func main() {
 	}
 
 	report := func(when string) {
-		hits, err := cat.Search("budget")
+		resp, err := cat.Query(context.Background(), desksearch.Query{Text: "budget"})
 		if err != nil {
 			log.Fatal(err)
 		}
 		s := cat.Stats()
 		fmt.Printf("%-28s budget matches %d file(s); %d files, %d postings\n",
-			when+":", len(hits), s.Files, s.Postings)
+			when+":", resp.Total, s.Files, s.Postings)
 	}
 	report("initial build")
 
@@ -117,12 +118,12 @@ func main() {
 // result order may not, because an incrementally maintained catalog
 // assigns different FileIDs (the tie-breaker) than a fresh build.
 func resultSet(cat *desksearch.Catalog, query string) string {
-	hits, err := cat.Search(query)
+	resp, err := cat.Query(context.Background(), desksearch.Query{Text: query})
 	if err != nil {
 		log.Fatal(err)
 	}
-	lines := make([]string, len(hits))
-	for i, h := range hits {
+	lines := make([]string, len(resp.Hits))
+	for i, h := range resp.Hits {
 		lines[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
 	}
 	sort.Strings(lines)

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"desksearch"
 	"desksearch/internal/vfs"
@@ -39,19 +41,39 @@ func main() {
 	fmt.Printf("indexed %d files into %d terms, %d postings (%d parallel indices)\n\n",
 		s.Files, s.Terms, s.Postings, cat.Indices())
 
+	// Query is the v2 search API: a request with pagination, ranking mode,
+	// and path filtering, answered with matched-term metadata and a total
+	// count. The zero controls return every hit, coordination-ranked.
+	ctx := context.Background()
 	for _, query := range []string{
 		"search",
 		"index search",
 		"thesis -draft",
 		"milk OR eggs",
 	} {
-		hits, err := cat.Search(query)
+		resp, err := cat.Query(ctx, desksearch.Query{Text: query, Limit: 10})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-16q -> %d hit(s)\n", query, len(hits))
-		for _, h := range hits {
-			fmt.Printf("    score %d  %s\n", h.Score, h.Path)
+		fmt.Printf("%-16q -> %d hit(s)\n", query, resp.Total)
+		for _, h := range resp.Hits {
+			fmt.Printf("    score %d  %-22s matched: %s\n", h.Score, h.Path, strings.Join(h.Terms, " "))
 		}
+	}
+
+	// Term-frequency ranking orders by how often the terms occur, and
+	// PathPrefix restricts the search to one directory.
+	resp, err := cat.Query(ctx, desksearch.Query{
+		Text:       "search OR index",
+		Ranking:    desksearch.RankTF,
+		PathPrefix: "docs/",
+		Limit:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTF-ranked under docs/: %d hit(s)\n", resp.Total)
+	for _, h := range resp.Hits {
+		fmt.Printf("    tf %d  %s\n", h.Score, h.Path)
 	}
 }

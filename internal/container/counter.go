@@ -1,0 +1,92 @@
+package container
+
+import "desksearch/internal/fnv"
+
+// Counter is a multiset of strings with open addressing and linear probing:
+// HashSet's layout plus an occurrence count per entry. A term extractor
+// uses one Counter per file (reset between files) to collapse duplicate
+// terms while remembering how often each occurred — the per-posting term
+// frequency that TF ranking consumes.
+type Counter struct {
+	entries []counterEntry
+	n       int // live entries
+}
+
+type counterEntry struct {
+	key   string
+	count uint32 // 0 = empty slot
+}
+
+// NewCounter returns a counter sized for about capacity distinct elements.
+func NewCounter(capacity int) *Counter {
+	buckets := setInitialBuckets
+	for buckets*setMaxLoadNum/setMaxLoadDen < capacity {
+		buckets *= 2
+	}
+	return &Counter{entries: make([]counterEntry, buckets)}
+}
+
+// Len returns the number of distinct elements.
+func (c *Counter) Len() int { return c.n }
+
+// Add records one occurrence of key and reports whether it was absent.
+func (c *Counter) Add(key string) bool {
+	if (c.n+1)*setMaxLoadDen > len(c.entries)*setMaxLoadNum {
+		c.grow()
+	}
+	i := c.probe(key)
+	if c.entries[i].count > 0 {
+		c.entries[i].count++
+		return false
+	}
+	c.entries[i] = counterEntry{key: key, count: 1}
+	c.n++
+	return true
+}
+
+// Count returns the number of occurrences recorded for key.
+func (c *Counter) Count(key string) uint32 {
+	return c.entries[c.probe(key)].count
+}
+
+// Reset empties the counter, retaining the allocated buckets for reuse.
+func (c *Counter) Reset() {
+	clear(c.entries)
+	c.n = 0
+}
+
+// Pairs appends the distinct elements and their parallel occurrence counts
+// (in unspecified order) and returns both slices.
+func (c *Counter) Pairs(keys []string, counts []uint32) ([]string, []uint32) {
+	for i := range c.entries {
+		if c.entries[i].count > 0 {
+			keys = append(keys, c.entries[i].key)
+			counts = append(counts, c.entries[i].count)
+		}
+	}
+	return keys, counts
+}
+
+// probe returns the index of key's entry, or of the empty slot where it
+// would be inserted.
+func (c *Counter) probe(key string) int {
+	mask := uint32(len(c.entries) - 1)
+	i := fnv.Hash32(key) & mask
+	for {
+		e := &c.entries[i]
+		if e.count == 0 || e.key == key {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (c *Counter) grow() {
+	old := c.entries
+	c.entries = make([]counterEntry, len(old)*2)
+	for i := range old {
+		if old[i].count > 0 {
+			c.entries[c.probe(old[i].key)] = old[i]
+		}
+	}
+}

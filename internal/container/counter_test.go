@@ -1,0 +1,58 @@
+package container
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter(4)
+	if !c.Add("cat") || c.Add("cat") || !c.Add("dog") {
+		t.Error("Add new/seen reporting wrong")
+	}
+	c.Add("cat")
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if c.Count("cat") != 3 || c.Count("dog") != 1 || c.Count("fish") != 0 {
+		t.Errorf("counts: cat=%d dog=%d fish=%d", c.Count("cat"), c.Count("dog"), c.Count("fish"))
+	}
+	keys, counts := c.Pairs(nil, nil)
+	if len(keys) != 2 || len(counts) != 2 {
+		t.Fatalf("Pairs = %v / %v", keys, counts)
+	}
+	for i, k := range keys {
+		if counts[i] != c.Count(k) {
+			t.Errorf("pair %q: %d != %d", k, counts[i], c.Count(k))
+		}
+	}
+}
+
+func TestCounterGrowAndReset(t *testing.T) {
+	c := NewCounter(2)
+	want := map[string]uint32{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("term%03d", i%100)
+		c.Add(k)
+		want[k]++
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	keys, counts := c.Pairs(nil, nil)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for k, n := range want {
+		if c.Count(k) != n {
+			t.Errorf("Count(%q) = %d, want %d", k, c.Count(k), n)
+		}
+	}
+	_ = counts
+	c.Reset()
+	if c.Len() != 0 || c.Count("term001") != 0 {
+		t.Error("Reset left state behind")
+	}
+	if !c.Add("term001") || c.Count("term001") != 1 {
+		t.Error("counter unusable after Reset")
+	}
+}

@@ -66,7 +66,7 @@ func RunConcurrentStage1(fsys vfs.FS, root string, extractors int, opts extract.
 					skippedMu.Unlock()
 					continue
 				}
-				shared.AddBlock(block.File, block.Terms)
+				shared.AddBlock(block.File, block.Terms, block.Counts)
 			}
 		}()
 	}

@@ -174,12 +174,14 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 // blockSink consumes term blocks. index.Shared is one (lock per block);
 // directSink wraps an unshared index for single-owner use.
 type blockSink interface {
-	AddBlock(id postings.FileID, terms []string)
+	AddBlock(id postings.FileID, terms []string, counts []uint32)
 }
 
 type directSink struct{ ix *index.Index }
 
-func (d directSink) AddBlock(id postings.FileID, terms []string) { d.ix.AddBlock(id, terms) }
+func (d directSink) AddBlock(id postings.FileID, terms []string, counts []uint32) {
+	d.ix.AddBlock(id, terms, counts)
+}
 
 // runDirect executes jobs on the calling goroutine (the sequential
 // baseline).
@@ -191,7 +193,7 @@ func runDirect(fsys vfs.FS, cfg Config, jobs []job, sink blockSink, res *Result)
 			res.SkippedFiles = append(res.SkippedFiles, Skipped{Path: j.ref.Path, Err: err})
 			continue
 		}
-		sink.AddBlock(block.File, block.Terms)
+		sink.AddBlock(block.File, block.Terms, block.Counts)
 	}
 }
 
@@ -266,7 +268,7 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 						skip(j.ref.Path, err)
 						continue
 					}
-					sink.AddBlock(block.File, block.Terms)
+					sink.AddBlock(block.File, block.Terms, block.Counts)
 				}
 			}(w)
 		}
@@ -305,7 +307,7 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 			defer updaters.Done()
 			sink := sinkFor(replicaSlot(cfg, -1, u))
 			for block := range blocks {
-				sink.AddBlock(block.File, block.Terms)
+				sink.AddBlock(block.File, block.Terms, block.Counts)
 			}
 		}(u)
 	}

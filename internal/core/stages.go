@@ -69,7 +69,7 @@ func MeasureStages(fsys vfs.FS, root string, opts extract.Options) (StageTimes, 
 	ix := index.New(1 << 12)
 	start = time.Now()
 	for _, b := range blocks {
-		ix.AddBlock(b.File, b.Terms)
+		ix.AddBlock(b.File, b.Terms, b.Counts)
 	}
 	st.IndexUpdate = time.Since(start)
 

@@ -142,11 +142,11 @@ func Diff(fsys vfs.FS, root string, files *index.FileTable) (*Changeset, error) 
 // already extracted, ready to commit.
 type Plan struct {
 	Changeset *Changeset
-	// terms maps a change's position in Changeset.Changes to its extracted
-	// duplicate-free term block. Unreadable files have no entry; Commit
-	// leaves their indexed state positioned so the next Diff sees them as
-	// still-pending changes and retries.
-	terms map[int][]string
+	// blocks maps a change's position in Changeset.Changes to its extracted
+	// duplicate-free term block (terms plus occurrence counts). Unreadable
+	// files have no entry; Commit leaves their indexed state positioned so
+	// the next Diff sees them as still-pending changes and retries.
+	blocks map[int]extract.TermBlock
 	// Skipped lists the files whose extraction failed.
 	Skipped []Skipped
 }
@@ -162,7 +162,7 @@ type Skipped struct {
 // owns one extract.Extractor (they are single-owner by design), fed
 // through a shared channel like the pipeline's extraction stage.
 func Extract(fsys vfs.FS, cs *Changeset, opts extract.Options, workers int) *Plan {
-	plan := &Plan{Changeset: cs, terms: make(map[int][]string)}
+	plan := &Plan{Changeset: cs, blocks: make(map[int]extract.TermBlock)}
 	var todo []int
 	for i, c := range cs.Changes {
 		if c.Op == OpAdd || c.Op == OpModify {
@@ -181,7 +181,7 @@ func Extract(fsys vfs.FS, cs *Changeset, opts extract.Options, workers int) *Pla
 
 	type extracted struct {
 		pos   int
-		terms []string
+		block extract.TermBlock
 		err   error
 	}
 	jobs := make(chan int, len(todo))
@@ -198,7 +198,7 @@ func Extract(fsys vfs.FS, cs *Changeset, opts extract.Options, workers int) *Pla
 			ex := extract.New(fsys, opts)
 			for i := range jobs {
 				block, err := ex.File(cs.Changes[i].Path, 0)
-				results <- extracted{pos: i, terms: block.Terms, err: err}
+				results <- extracted{pos: i, block: block, err: err}
 			}
 		}()
 	}
@@ -209,7 +209,7 @@ func Extract(fsys vfs.FS, cs *Changeset, opts extract.Options, workers int) *Pla
 			plan.Skipped = append(plan.Skipped, Skipped{Path: cs.Changes[r.pos].Path, Err: r.err})
 			continue
 		}
-		plan.terms[r.pos] = r.terms
+		plan.blocks[r.pos] = r.block
 	}
 	return plan
 }
@@ -265,7 +265,7 @@ func (p *Plan) Commit(t Target) Stats {
 
 	type step struct {
 		c   Change
-		pos int // position in the original changeset, the key into p.terms
+		pos int // position in the original changeset, the key into p.blocks
 	}
 	steps := make([]step, 0, len(p.Changeset.Changes))
 	for i, c := range p.Changeset.Changes {
@@ -324,20 +324,20 @@ func (p *Plan) Commit(t Target) Stats {
 			t.Files.Tombstone(c.ID)
 			st.Deleted++
 		case OpModify:
-			terms, ok := p.terms[s.pos]
+			block, ok := p.blocks[s.pos]
 			if !ok {
 				continue
 			}
 			t.Files.SetMeta(c.ID, c.Size, c.ModTime)
-			commitBlock(t, c.ID, terms, &st)
+			commitBlock(t, c.ID, block, &st)
 			st.Modified++
 		case OpAdd:
-			terms, ok := p.terms[s.pos]
+			block, ok := p.blocks[s.pos]
 			if !ok {
 				continue
 			}
 			id := t.Files.Add(c.Path, c.Size, c.ModTime)
-			commitBlock(t, id, terms, &st)
+			commitBlock(t, id, block, &st)
 			st.Added++
 		}
 	}
@@ -345,13 +345,13 @@ func (p *Plan) Commit(t Target) Stats {
 }
 
 // commitBlock routes a fresh term block to id's owning partition.
-func commitBlock(t Target, id postings.FileID, terms []string, st *Stats) {
-	if len(terms) == 0 {
+func commitBlock(t Target, id postings.FileID, block extract.TermBlock, st *Stats) {
+	if len(block.Terms) == 0 {
 		return
 	}
 	owner := shard.ShardFor(id, len(t.Partitions))
-	t.Partitions[owner].AddBlock(id, terms)
-	st.PostingsAdded += int64(len(terms))
+	t.Partitions[owner].AddBlock(id, block.Terms, block.Counts)
+	st.PostingsAdded += int64(len(block.Terms))
 	if t.OnDirty != nil {
 		t.OnDirty(owner)
 	}

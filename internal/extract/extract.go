@@ -20,10 +20,15 @@ import (
 )
 
 // TermBlock is the unit of work passed from term extractors to index
-// updaters: one file's distinct terms.
+// updaters: one file's distinct terms and, parallel to them, how many
+// times each occurred in the file (the term frequency TF ranking scores
+// with).
 type TermBlock struct {
 	File  postings.FileID
 	Terms []string
+	// Counts[i] is the number of occurrences of Terms[i]; nil means every
+	// term occurred exactly once.
+	Counts []uint32
 }
 
 // Options configure an Extractor.
@@ -37,20 +42,21 @@ type Options struct {
 }
 
 // Extractor turns files into TermBlocks. Each extractor goroutine owns one
-// Extractor; the duplicate-elimination hash set is reused across files to
+// Extractor; the duplicate-elimination counter is reused across files to
 // avoid per-file allocation, so an Extractor must not be shared.
 type Extractor struct {
 	fs   vfs.FS
 	opts Options
-	seen *container.HashSet
+	seen *container.Counter
 }
 
 // New returns an Extractor reading from fs.
 func New(fs vfs.FS, opts Options) *Extractor {
-	return &Extractor{fs: fs, opts: opts, seen: container.NewHashSet(1024)}
+	return &Extractor{fs: fs, opts: opts, seen: container.NewCounter(1024)}
 }
 
-// File extracts the duplicate-free term block of the named file.
+// File extracts the duplicate-free term block of the named file, counting
+// each term's occurrences as the duplicates collapse.
 func (e *Extractor) File(path string, id postings.FileID) (TermBlock, error) {
 	data, err := e.fs.ReadFile(path)
 	if err != nil {
@@ -63,10 +69,8 @@ func (e *Extractor) File(path string, id postings.FileID) (TermBlock, error) {
 	tokenize.Scan(data, e.opts.Tokenize, func(term string) {
 		e.seen.Add(term)
 	})
-	return TermBlock{
-		File:  id,
-		Terms: e.seen.Keys(make([]string, 0, e.seen.Len())),
-	}, nil
+	terms, counts := e.seen.Pairs(make([]string, 0, e.seen.Len()), make([]uint32, 0, e.seen.Len()))
+	return TermBlock{File: id, Terms: terms, Counts: counts}, nil
 }
 
 // ScanOnly reads and tokenizes the file without collecting terms — the

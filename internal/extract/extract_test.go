@@ -187,3 +187,23 @@ func BenchmarkFile(b *testing.B) {
 		}
 	}
 }
+
+// TestFileCounts: File reports each term's occurrence count alongside the
+// duplicate-free term block.
+func TestFileCounts(t *testing.T) {
+	fs := testFS(t)
+	e := New(fs, Options{Tokenize: tokenize.Default})
+	block, err := e.File("plain.txt", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Counts) != len(block.Terms) {
+		t.Fatalf("counts %d != terms %d", len(block.Counts), len(block.Terms))
+	}
+	want := map[string]uint32{"the": 3, "cat": 2, "and": 2, "dog": 1}
+	for i, term := range block.Terms {
+		if block.Counts[i] != want[term] {
+			t.Errorf("count(%q) = %d, want %d", term, block.Counts[i], want[term])
+		}
+	}
+}

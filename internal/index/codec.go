@@ -18,8 +18,8 @@ import (
 //
 // and differ in the payload:
 //
-//	version 4 (full index):     file table | term section
-//	version 2 (shard segment):  term section only — the file table lives in
+//	version 6 (full index):     file table | term section
+//	version 7 (shard segment):  term section only — the file table lives in
 //	                            the shard manifest (see internal/shard)
 //	version 5 (shard manifest): file table | segment directory, written and
 //	                            read by internal/shard over this package's
@@ -37,8 +37,10 @@ import (
 //
 // Versions 1 and 3 were the pre-incremental forms of the full index and the
 // manifest, whose file tables carried neither modification stamps nor
-// tombstones; the version bump retires them rather than guessing at missing
-// change-detection state.
+// tombstones; versions 4 and 2 were their successors whose posting lists
+// carried no term frequencies. Each bump retires the older form rather than
+// guessing at the missing state (the manifest carries no posting lists, so
+// version 5 survives the frequency bump unchanged).
 //
 // A desktop search tool persists its index between sessions; this codec is
 // that persistence layer for cmd/indexgen and cmd/dsearch.
@@ -46,9 +48,9 @@ import (
 const (
 	codecMagic = "DSIX"
 	// codecVersion is the full single-file form: file table + term section.
-	codecVersion = 4
+	codecVersion = 6
 	// SegmentVersion is the shard segment form: the term section alone.
-	SegmentVersion = 2
+	SegmentVersion = 7
 	// ManifestVersion is the shard manifest form (internal/shard).
 	ManifestVersion = 5
 	// maxCount bounds file/term/posting counts against corrupt headers.
@@ -285,7 +287,7 @@ func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
 	return ix, nil
 }
 
-// Save writes the index and its file table to w (DSIX version 1).
+// Save writes the index and its file table to w (the DSIX full-index form).
 func Save(w io.Writer, ix *Index, files *FileTable) error {
 	return EncodeFrame(w, codecVersion, func(bw *bufio.Writer) error {
 		if err := WriteFileTable(bw, files); err != nil {

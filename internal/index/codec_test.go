@@ -29,7 +29,7 @@ func buildSampleIndex(rng *rand.Rand, nFiles, vocab int) (*Index, *FileTable) {
 				terms = append(terms, w)
 			}
 		}
-		ix.AddBlock(id, terms)
+		ix.AddBlock(id, terms, nil)
 	}
 	return ix, ft
 }

@@ -64,10 +64,10 @@ func TestFileTableSetMeta(t *testing.T) {
 func TestRemoveFilesMatchesSequentialRemoves(t *testing.T) {
 	build := func() *Index {
 		ix := New(16)
-		ix.AddBlock(0, []string{"a", "b", "c"})
-		ix.AddBlock(1, []string{"b", "c"})
-		ix.AddBlock(2, []string{"c", "d"})
-		ix.AddBlock(3, []string{"d", "e"})
+		ix.AddBlock(0, []string{"a", "b", "c"}, nil)
+		ix.AddBlock(1, []string{"b", "c"}, nil)
+		ix.AddBlock(2, []string{"c", "d"}, nil)
+		ix.AddBlock(3, []string{"d", "e"}, nil)
 		return ix
 	}
 	batched := build()
@@ -111,7 +111,7 @@ func TestTopTermsAcrossMatchesJoin(t *testing.T) {
 		{"solo"},
 	}
 	for i, terms := range blocks {
-		parts[i%len(parts)].AddBlock(postings.FileID(i), terms)
+		parts[i%len(parts)].AddBlock(postings.FileID(i), terms, nil)
 	}
 	joined := JoinAll([]*Index{parts[0].Clone(), parts[1].Clone(), parts[2].Clone()})
 
@@ -140,8 +140,8 @@ func TestSaveLoadPreservesTombstones(t *testing.T) {
 	a := ft.Add("a.txt", 10, 100)
 	b := ft.Add("b.txt", 20, 200)
 	c := ft.Add("c.txt", 30, 300)
-	ix.AddBlock(a, []string{"keep"})
-	ix.AddBlock(c, []string{"keep", "tail"})
+	ix.AddBlock(a, []string{"keep"}, nil)
+	ix.AddBlock(c, []string{"keep", "tail"}, nil)
 	ft.Tombstone(b)
 
 	var buf bytes.Buffer

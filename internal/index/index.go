@@ -129,11 +129,17 @@ func New(capacity int) *Index {
 
 // AddBlock inserts a file's duplicate-free term block. This is the en-bloc
 // insertion path the paper chose: one call per file, no per-posting
-// duplicate checks (each file is scanned exactly once).
-func (ix *Index) AddBlock(id postings.FileID, terms []string) {
-	for _, term := range terms {
+// duplicate checks (each file is scanned exactly once). counts, when
+// non-nil, carries the per-term occurrence frequency parallel to terms
+// (extract.TermBlock.Counts); nil records every term with frequency 1.
+func (ix *Index) AddBlock(id postings.FileID, terms []string, counts []uint32) {
+	for i, term := range terms {
 		l := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
-		l.Add(id)
+		if counts == nil {
+			l.Add(id)
+		} else {
+			l.AddN(id, counts[i])
+		}
 	}
 	ix.nPostings += int64(len(terms))
 }
@@ -268,9 +274,9 @@ type Shared struct {
 func NewShared(capacity int) *Shared { return &Shared{ix: New(capacity)} }
 
 // AddBlock inserts a term block under the lock.
-func (s *Shared) AddBlock(id postings.FileID, terms []string) {
+func (s *Shared) AddBlock(id postings.FileID, terms []string, counts []uint32) {
 	s.mu.Lock()
-	s.ix.AddBlock(id, terms)
+	s.ix.AddBlock(id, terms, counts)
 	s.mu.Unlock()
 }
 

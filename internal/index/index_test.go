@@ -32,8 +32,8 @@ func TestFileTable(t *testing.T) {
 
 func TestAddBlockAndLookup(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(1, []string{"alpha", "beta"})
-	ix.AddBlock(2, []string{"beta", "gamma"})
+	ix.AddBlock(1, []string{"alpha", "beta"}, nil)
+	ix.AddBlock(2, []string{"beta", "gamma"}, nil)
 	if ix.NumTerms() != 3 {
 		t.Errorf("NumTerms = %d", ix.NumTerms())
 	}
@@ -62,7 +62,7 @@ func TestAddTermOccurrenceDeduplicates(t *testing.T) {
 		t.Errorf("NumPostings = %d, want 2", ix.NumPostings())
 	}
 	en := New(0)
-	en.AddBlock(7, []string{"dup", "other"})
+	en.AddBlock(7, []string{"dup", "other"}, nil)
 	if !ix.Equal(en) {
 		t.Error("immediate insertion diverged from en-bloc insertion")
 	}
@@ -70,7 +70,7 @@ func TestAddTermOccurrenceDeduplicates(t *testing.T) {
 
 func TestRangeAndTerms(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(0, []string{"a", "b", "c"})
+	ix.AddBlock(0, []string{"a", "b", "c"}, nil)
 	var seen []string
 	ix.Range(func(term string, l *postings.List) bool {
 		seen = append(seen, term)
@@ -89,9 +89,9 @@ func TestRangeAndTerms(t *testing.T) {
 
 func TestJoinMergesPostings(t *testing.T) {
 	a := New(0)
-	a.AddBlock(0, []string{"shared", "onlyA"})
+	a.AddBlock(0, []string{"shared", "onlyA"}, nil)
 	b := New(0)
-	b.AddBlock(1, []string{"shared", "onlyB"})
+	b.AddBlock(1, []string{"shared", "onlyB"}, nil)
 	a.Join(b)
 	if a.NumTerms() != 3 {
 		t.Errorf("NumTerms = %d", a.NumTerms())
@@ -107,9 +107,9 @@ func TestJoinMergesPostings(t *testing.T) {
 
 func TestJoinOverlappingPostingsCountsOnce(t *testing.T) {
 	a := New(0)
-	a.AddBlock(3, []string{"t"})
+	a.AddBlock(3, []string{"t"}, nil)
 	b := New(0)
-	b.AddBlock(3, []string{"t"}) // same (term, file) posting in both
+	b.AddBlock(3, []string{"t"}, nil) // same (term, file) posting in both
 	a.Join(b)
 	if a.NumPostings() != 1 {
 		t.Errorf("NumPostings = %d, want 1", a.NumPostings())
@@ -118,18 +118,18 @@ func TestJoinOverlappingPostingsCountsOnce(t *testing.T) {
 
 func TestEqual(t *testing.T) {
 	a := New(0)
-	a.AddBlock(0, []string{"x", "y"})
+	a.AddBlock(0, []string{"x", "y"}, nil)
 	b := New(0)
-	b.AddBlock(0, []string{"y", "x"})
+	b.AddBlock(0, []string{"y", "x"}, nil)
 	if !a.Equal(b) {
 		t.Error("order-insensitive indices should be equal")
 	}
-	b.AddBlock(1, []string{"x"})
+	b.AddBlock(1, []string{"x"}, nil)
 	if a.Equal(b) {
 		t.Error("different indices reported equal")
 	}
 	c := New(0)
-	c.AddBlock(0, []string{"x", "z"})
+	c.AddBlock(0, []string{"x", "z"}, nil)
 	if a.Equal(c) {
 		t.Error("same size, different terms reported equal")
 	}
@@ -137,7 +137,7 @@ func TestEqual(t *testing.T) {
 
 func TestStatsString(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(0, []string{"a"})
+	ix.AddBlock(0, []string{"a"}, nil)
 	s := ix.Stats()
 	if s.Terms != 1 || s.Postings != 1 {
 		t.Errorf("Stats = %+v", s)
@@ -156,7 +156,7 @@ func referenceIndex(blocks map[postings.FileID][]string) *Index {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		ix.AddBlock(id, blocks[id])
+		ix.AddBlock(id, blocks[id], nil)
 	}
 	return ix
 }
@@ -201,7 +201,7 @@ func TestJoinEqualsSequentialReference(t *testing.T) {
 		}
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		for _, id := range ids {
-			replicas[i%r].AddBlock(id, blocks[id])
+			replicas[i%r].AddBlock(id, blocks[id], nil)
 			i++
 		}
 		got := JoinAll(replicas)
@@ -230,7 +230,7 @@ func TestParallelJoinEqualsSequentialJoin(t *testing.T) {
 				}
 				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 				for _, id := range ids {
-					replicas[i%nReplicas].AddBlock(id, blocks[id])
+					replicas[i%nReplicas].AddBlock(id, blocks[id], nil)
 					i++
 				}
 				return replicas
@@ -266,7 +266,7 @@ func TestSharedConcurrentAddBlock(t *testing.T) {
 			defer wg.Done()
 			for f := 0; f < filesPerWorker; f++ {
 				id := postings.FileID(w*filesPerWorker + f)
-				s.AddBlock(id, []string{"common", fmt.Sprintf("w%d", w), fmt.Sprintf("f%d", f)})
+				s.AddBlock(id, []string{"common", fmt.Sprintf("w%d", w), fmt.Sprintf("f%d", f)}, nil)
 			}
 		}(w)
 	}

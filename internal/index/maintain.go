@@ -57,9 +57,10 @@ func (ix *Index) RemoveFiles(victims *postings.List) int {
 
 // UpdateFile replaces a file's postings with a fresh duplicate-free term
 // block (remove + en-bloc insert), the re-index path for a modified file.
-func (ix *Index) UpdateFile(id postings.FileID, terms []string) {
+// counts follows AddBlock's convention (nil = every frequency 1).
+func (ix *Index) UpdateFile(id postings.FileID, terms []string, counts []uint32) {
 	ix.RemoveFile(id)
-	ix.AddBlock(id, terms)
+	ix.AddBlock(id, terms, counts)
 }
 
 // TermCount is a term with its document frequency.
@@ -93,19 +94,12 @@ func (ix *Index) TopTerms(n int) []TermCount {
 	return all
 }
 
-// TopTermsAcross returns the n most frequent terms by document count over a
-// set of document-disjoint partitions (replicas or shards), most frequent
-// first with ties broken alphabetically. Because each file lives in exactly
-// one partition, per-partition document counts add; aggregating them costs
-// one pass over each partition's term map and a count per distinct term —
-// no posting list is cloned, merged, or joined.
-func TopTermsAcross(parts []*Index, n int) []TermCount {
-	if n <= 0 || len(parts) == 0 {
-		return nil
-	}
-	if len(parts) == 1 {
-		return parts[0].TopTerms(n)
-	}
+// termDocCounts aggregates per-term document counts over a set of
+// document-disjoint partitions in one pass: each file lives in exactly one
+// partition, so per-partition document counts add, and the cost is a pass
+// over each partition's term map plus a counter per distinct term — no
+// posting list is cloned, merged, or joined.
+func termDocCounts(parts []*Index) map[string]int {
 	counts := make(map[string]int)
 	for _, ix := range parts {
 		ix.Range(func(term string, l *postings.List) bool {
@@ -113,6 +107,40 @@ func TopTermsAcross(parts []*Index, n int) []TermCount {
 			return true
 		})
 	}
+	return counts
+}
+
+// DistinctTermsAcross returns the exact number of distinct terms over a set
+// of document-disjoint partitions — not the per-partition sum, which counts
+// a term once per partition it appears in. Like termDocCounts it is one
+// pass over each partition's term map, but with a value-free set, since
+// only the cardinality is wanted.
+func DistinctTermsAcross(parts []*Index) int {
+	if len(parts) == 1 {
+		return parts[0].NumTerms()
+	}
+	seen := make(map[string]struct{}, parts[0].NumTerms())
+	for _, ix := range parts {
+		ix.Range(func(term string, _ *postings.List) bool {
+			seen[term] = struct{}{}
+			return true
+		})
+	}
+	return len(seen)
+}
+
+// TopTermsAcross returns the n most frequent terms by document count over a
+// set of document-disjoint partitions (replicas or shards), most frequent
+// first with ties broken alphabetically, using the same single-pass counter
+// as DistinctTermsAcross.
+func TopTermsAcross(parts []*Index, n int) []TermCount {
+	if n <= 0 || len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0].TopTerms(n)
+	}
+	counts := termDocCounts(parts)
 	all := make([]TermCount, 0, len(counts))
 	for term, files := range counts {
 		all = append(all, TermCount{Term: term, Files: files})

@@ -12,8 +12,8 @@ import (
 
 func TestRemoveFile(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(1, []string{"shared", "only1"})
-	ix.AddBlock(2, []string{"shared", "only2"})
+	ix.AddBlock(1, []string{"shared", "only1"}, nil)
+	ix.AddBlock(2, []string{"shared", "only2"}, nil)
 
 	removed := ix.RemoveFile(1)
 	if removed != 2 {
@@ -35,7 +35,7 @@ func TestRemoveFile(t *testing.T) {
 
 func TestRemoveFileAbsent(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(1, []string{"a"})
+	ix.AddBlock(1, []string{"a"}, nil)
 	if got := ix.RemoveFile(99); got != 0 {
 		t.Errorf("removed %d from absent file", got)
 	}
@@ -46,9 +46,9 @@ func TestRemoveFileAbsent(t *testing.T) {
 
 func TestUpdateFile(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(1, []string{"old", "stays"})
-	ix.AddBlock(2, []string{"stays"})
-	ix.UpdateFile(1, []string{"new", "stays"})
+	ix.AddBlock(1, []string{"old", "stays"}, nil)
+	ix.AddBlock(2, []string{"stays"}, nil)
+	ix.UpdateFile(1, []string{"new", "stays"}, nil)
 	if ix.Lookup("old") != nil {
 		t.Error("stale term survived update")
 	}
@@ -82,7 +82,7 @@ func TestRemoveFileMatchesRebuild(t *testing.T) {
 		}
 		ix := New(0)
 		for f := 0; f < nFiles; f++ {
-			ix.AddBlock(postings.FileID(f), blocks[postings.FileID(f)])
+			ix.AddBlock(postings.FileID(f), blocks[postings.FileID(f)], nil)
 		}
 		victim := postings.FileID(rng.Intn(nFiles))
 		ix.RemoveFile(victim)
@@ -92,7 +92,7 @@ func TestRemoveFileMatchesRebuild(t *testing.T) {
 			if postings.FileID(f) == victim {
 				continue
 			}
-			rebuilt.AddBlock(postings.FileID(f), blocks[postings.FileID(f)])
+			rebuilt.AddBlock(postings.FileID(f), blocks[postings.FileID(f)], nil)
 		}
 		return ix.Equal(rebuilt) && ix.NumPostings() == rebuilt.NumPostings()
 	}, &quick.Config{MaxCount: 60}); err != nil {
@@ -103,7 +103,7 @@ func TestRemoveFileMatchesRebuild(t *testing.T) {
 func TestRemoveAllFilesEmptiesIndex(t *testing.T) {
 	ix := New(0)
 	for f := postings.FileID(0); f < 20; f++ {
-		ix.AddBlock(f, []string{"common", fmt.Sprintf("f%d", f)})
+		ix.AddBlock(f, []string{"common", fmt.Sprintf("f%d", f)}, nil)
 	}
 	for f := postings.FileID(0); f < 20; f++ {
 		ix.RemoveFile(f)
@@ -115,9 +115,9 @@ func TestRemoveAllFilesEmptiesIndex(t *testing.T) {
 
 func TestTopTerms(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(0, []string{"rare", "common", "medium"})
-	ix.AddBlock(1, []string{"common", "medium"})
-	ix.AddBlock(2, []string{"common"})
+	ix.AddBlock(0, []string{"rare", "common", "medium"}, nil)
+	ix.AddBlock(1, []string{"common", "medium"}, nil)
+	ix.AddBlock(2, []string{"common"}, nil)
 	top := ix.TopTerms(2)
 	want := []TermCount{{Term: "common", Files: 3}, {Term: "medium", Files: 2}}
 	if !reflect.DeepEqual(top, want) {
@@ -133,7 +133,7 @@ func TestTopTerms(t *testing.T) {
 
 func TestTopTermsDeterministicTies(t *testing.T) {
 	ix := New(0)
-	ix.AddBlock(0, []string{"zebra", "apple", "mango"})
+	ix.AddBlock(0, []string{"zebra", "apple", "mango"}, nil)
 	top := ix.TopTerms(3)
 	if top[0].Term != "apple" || top[1].Term != "mango" || top[2].Term != "zebra" {
 		t.Errorf("tie order not alphabetical: %v", top)

@@ -6,7 +6,7 @@ import (
 	"io"
 )
 
-// A shard segment (DSIX version 2) persists one document-sharded partition
+// A shard segment (the DSIX segment form) persists one document-sharded partition
 // of an index: the term section alone, framed and checksummed like every
 // DSIX file. The file table — shared by all shards of a set — is not
 // repeated per segment; it lives once in the shard manifest

@@ -1,5 +1,6 @@
 // Package postings implements the posting lists of the inverted index:
-// for each term, the list of files that contain it.
+// for each term, the list of files that contain it, with an optional
+// per-posting term frequency (how many times the term occurs in the file).
 //
 // The paper's design inserts one term block per file, with the guarantee
 // that each file is scanned exactly once; a posting list therefore never
@@ -7,6 +8,11 @@
 // linear search the paper's analysis eliminates — is only needed when lists
 // from different runs are merged. Lists keep file IDs sorted so that merge,
 // intersection, and union run in linear time.
+//
+// Term frequencies are stored lazily: a list whose postings all have
+// frequency 1 (boolean-only corpora, NOT universes, intermediate query
+// results) carries no count storage at all, so the frequency feature costs
+// nothing until a build actually records real counts.
 package postings
 
 import "sort"
@@ -15,7 +21,8 @@ import "sort"
 // Stage 1 (filename generation) in traversal order.
 type FileID uint32
 
-// List is a posting list: a sorted set of FileIDs.
+// List is a posting list: a sorted set of FileIDs, each with a term
+// frequency.
 //
 // The zero value is an empty list. Lists built exclusively through Add with
 // the generator's one-block-per-file discipline stay sorted for free when
@@ -23,9 +30,14 @@ type FileID uint32
 // parallel extractors) by insertion.
 type List struct {
 	ids []FileID
+	// counts holds the per-posting term frequency, parallel to ids. nil
+	// means every frequency is 1 — the representation is normalized so the
+	// common boolean case allocates nothing.
+	counts []uint32
 }
 
 // FromIDs builds a list from ids, sorting and deduplicating as needed.
+// Every posting gets frequency 1.
 func FromIDs(ids []FileID) *List {
 	l := &List{ids: append([]FileID(nil), ids...)}
 	sort.Slice(l.ids, func(i, j int) bool { return l.ids[i] < l.ids[j] })
@@ -35,9 +47,28 @@ func FromIDs(ids []FileID) *List {
 
 // FromSortedIDs builds a list from ids, which must already be strictly
 // ascending (the invariant of every posting list's own IDs). It copies but
-// skips the sort and dedup FromIDs pays.
+// skips the sort and dedup FromIDs pays. Every posting gets frequency 1.
 func FromSortedIDs(ids []FileID) *List {
 	return &List{ids: append([]FileID(nil), ids...)}
+}
+
+// FromSortedIDCounts builds a list from strictly ascending ids and their
+// parallel frequencies. counts may be nil (all frequencies 1) or must have
+// len(counts) == len(ids); a zero frequency is recorded as 1, matching
+// AddN (Encode biases frequencies by -1, so a zero must never be stored).
+// Both slices are copied.
+func FromSortedIDCounts(ids []FileID, counts []uint32) *List {
+	l := &List{ids: append([]FileID(nil), ids...)}
+	if counts != nil {
+		l.counts = append([]uint32(nil), counts...)
+		for i, c := range l.counts {
+			if c == 0 {
+				l.counts[i] = 1
+			}
+		}
+		l.normalize()
+	}
+	return l
 }
 
 func (l *List) dedupSorted() {
@@ -50,6 +81,28 @@ func (l *List) dedupSorted() {
 	l.ids = out
 }
 
+// normalize drops an all-ones counts slice so equal lists share one
+// representation regardless of how they were built.
+func (l *List) normalize() {
+	for _, c := range l.counts {
+		if c != 1 {
+			return
+		}
+	}
+	l.counts = nil
+}
+
+// materializeCounts switches the list to explicit count storage.
+func (l *List) materializeCounts() {
+	if l.counts != nil {
+		return
+	}
+	l.counts = make([]uint32, len(l.ids))
+	for i := range l.counts {
+		l.counts[i] = 1
+	}
+}
+
 // Len returns the number of postings.
 func (l *List) Len() int { return len(l.ids) }
 
@@ -57,42 +110,121 @@ func (l *List) Len() int { return len(l.ids) }
 // list's backing storage; callers must not modify it.
 func (l *List) IDs() []FileID { return l.ids }
 
+// CountAt returns the term frequency of the posting at position i.
+func (l *List) CountAt(i int) uint32 {
+	if l.counts == nil {
+		return 1
+	}
+	return l.counts[i]
+}
+
+// CountOf returns the term frequency recorded for id, or 0 if id is not in
+// the list.
+func (l *List) CountOf(id FileID) uint32 {
+	i := sort.Search(len(l.ids), func(i int) bool { return l.ids[i] >= id })
+	if i >= len(l.ids) || l.ids[i] != id {
+		return 0
+	}
+	return l.CountAt(i)
+}
+
 // Contains reports whether id is in the list.
 func (l *List) Contains(id FileID) bool {
 	i := sort.Search(len(l.ids), func(i int) bool { return l.ids[i] >= id })
 	return i < len(l.ids) && l.ids[i] == id
 }
 
-// Add inserts id, keeping the list sorted and duplicate-free. The common
-// fast path — id greater than every present posting — is O(1) amortized.
-func (l *List) Add(id FileID) {
-	n := len(l.ids)
-	if n == 0 || id > l.ids[n-1] {
+// Add inserts id with frequency 1, keeping the list sorted and
+// duplicate-free. On a boolean (implicit-frequency) list, re-adding a
+// present id is a no-op — the set semantics the immediate-insertion
+// ablation path relies on; on a list with materialized frequencies it
+// records one more occurrence, like AddN(id, 1). The common fast path —
+// id greater than every present posting — is O(1) amortized.
+func (l *List) Add(id FileID) { l.AddN(id, 1) }
+
+// AddN inserts id with frequency n (n == 0 is recorded as 1). Re-adding a
+// present id sums frequencies, matching Merge's discipline — except the
+// pure boolean case (n == 1 into a list with implicit counts), which
+// keeps Add's set semantics.
+func (l *List) AddN(id FileID, n uint32) {
+	if n == 0 {
+		n = 1
+	}
+	sz := len(l.ids)
+	if sz == 0 || id > l.ids[sz-1] {
 		l.ids = append(l.ids, id)
+		l.appendCount(n)
 		return
 	}
-	i := sort.Search(n, func(i int) bool { return l.ids[i] >= id })
-	if i < n && l.ids[i] == id {
+	i := sort.Search(sz, func(i int) bool { return l.ids[i] >= id })
+	if i < sz && l.ids[i] == id {
+		if n > 1 || l.counts != nil {
+			l.materializeCounts()
+			l.counts[i] += n
+		}
 		return
 	}
 	l.ids = append(l.ids, 0)
 	copy(l.ids[i+1:], l.ids[i:])
 	l.ids[i] = id
+	if n > 1 {
+		// ids already grew, so materialization covers the inserted slot too;
+		// the shift below then moves all-ones over all-ones harmlessly.
+		l.materializeCounts()
+	}
+	if l.counts != nil {
+		if len(l.counts) < len(l.ids) {
+			l.counts = append(l.counts, 0)
+		}
+		copy(l.counts[i+1:], l.counts[i:])
+		l.counts[i] = n
+	}
+}
+
+// appendCount records the frequency of a posting just appended to ids.
+func (l *List) appendCount(n uint32) {
+	if n == 1 && l.counts == nil {
+		return
+	}
+	if l.counts == nil {
+		// The new id is already in ids; materialize counts for the others.
+		l.counts = make([]uint32, len(l.ids)-1, len(l.ids))
+		for i := range l.counts {
+			l.counts[i] = 1
+		}
+	}
+	l.counts = append(l.counts, n)
 }
 
 // Merge destructively merges other into l (set union) and returns l.
-// The two-pointer merge is linear in the combined length.
+// When either list carries explicit frequencies, frequencies of postings
+// present in both sum; when both are boolean (implicit all-ones) lists the
+// overlap keeps frequency 1 — set semantics, so query-time unions of match
+// sets never materialize count storage. Callers merging counted data that
+// may overlap (none of the document-disjoint partition paths do) must not
+// rely on the boolean exception. The two-pointer merge is linear in the
+// combined length.
 func (l *List) Merge(other *List) *List {
 	if other == nil || len(other.ids) == 0 {
 		return l
 	}
 	if len(l.ids) == 0 {
 		l.ids = append(l.ids, other.ids...)
+		l.counts = nil
+		if other.counts != nil {
+			l.counts = append([]uint32(nil), other.counts...)
+		}
 		return l
 	}
 	// Fast path: disjoint ranges, the usual case when replicas own
 	// round-robin slices of the corpus.
 	if l.ids[len(l.ids)-1] < other.ids[0] {
+		if l.counts != nil || other.counts != nil {
+			l.materializeCounts()
+			for i := range other.ids {
+				l.counts = append(l.counts, other.CountAt(i))
+			}
+		}
 		l.ids = append(l.ids, other.ids...)
 		return l
 	}
@@ -100,51 +232,105 @@ func (l *List) Merge(other *List) *List {
 		merged := make([]FileID, 0, len(l.ids)+len(other.ids))
 		merged = append(merged, other.ids...)
 		merged = append(merged, l.ids...)
+		if l.counts != nil || other.counts != nil {
+			counts := make([]uint32, 0, len(merged))
+			for i := range other.ids {
+				counts = append(counts, other.CountAt(i))
+			}
+			for i := range l.ids {
+				counts = append(counts, l.CountAt(i))
+			}
+			l.counts = counts
+		}
 		l.ids = merged
 		return l
 	}
 	merged := make([]FileID, 0, len(l.ids)+len(other.ids))
+	withCounts := l.counts != nil || other.counts != nil
+	var counts []uint32
+	if withCounts {
+		counts = make([]uint32, 0, len(l.ids)+len(other.ids))
+	}
 	i, j := 0, 0
 	for i < len(l.ids) && j < len(other.ids) {
 		a, b := l.ids[i], other.ids[j]
 		switch {
 		case a < b:
 			merged = append(merged, a)
+			if withCounts {
+				counts = append(counts, l.CountAt(i))
+			}
 			i++
 		case b < a:
 			merged = append(merged, b)
+			if withCounts {
+				counts = append(counts, other.CountAt(j))
+			}
 			j++
 		default:
 			merged = append(merged, a)
+			if withCounts {
+				counts = append(counts, l.CountAt(i)+other.CountAt(j))
+			}
 			i++
 			j++
 		}
 	}
-	merged = append(merged, l.ids[i:]...)
-	merged = append(merged, other.ids[j:]...)
+	for ; i < len(l.ids); i++ {
+		merged = append(merged, l.ids[i])
+		if withCounts {
+			counts = append(counts, l.CountAt(i))
+		}
+	}
+	for ; j < len(other.ids); j++ {
+		merged = append(merged, other.ids[j])
+		if withCounts {
+			counts = append(counts, other.CountAt(j))
+		}
+	}
 	l.ids = merged
+	l.counts = counts
 	return l
+}
+
+// WithoutCounts returns a frequency-free view of the list: same IDs, every
+// frequency 1. The view shares the ID storage and must be treated as
+// read-only; lists already in the implicit all-ones form return themselves.
+// Set-algebra pipelines (query match sets) use it so frequencies are not
+// copied and summed through operators that never read them.
+func (l *List) WithoutCounts() *List {
+	if l.counts == nil {
+		return l
+	}
+	return &List{ids: l.ids}
 }
 
 // Clone returns an independent copy of the list.
 func (l *List) Clone() *List {
-	return &List{ids: append([]FileID(nil), l.ids...)}
+	out := &List{ids: append([]FileID(nil), l.ids...)}
+	if l.counts != nil {
+		out.counts = append([]uint32(nil), l.counts...)
+	}
+	return out
 }
 
-// Equal reports whether two lists hold the same postings.
+// Equal reports whether two lists hold the same postings with the same
+// frequencies (an all-ones counts slice equals no counts slice).
 func (l *List) Equal(other *List) bool {
 	if l.Len() != other.Len() {
 		return false
 	}
 	for i, id := range l.ids {
-		if other.ids[i] != id {
+		if other.ids[i] != id || l.CountAt(i) != other.CountAt(i) {
 			return false
 		}
 	}
 	return true
 }
 
-// Intersect returns the postings common to a and b (boolean AND).
+// Intersect returns the postings common to a and b (boolean AND). The
+// result carries no frequencies: an intersection is a match set, and
+// ranking reads frequencies from the term lists themselves.
 func Intersect(a, b *List) *List {
 	small, large := a, b
 	if small.Len() > large.Len() {
@@ -184,14 +370,39 @@ func Intersect(a, b *List) *List {
 	return out
 }
 
-// Union returns all postings in a or b (boolean OR).
+// IntersectEach calls f for every posting common to a and b, in ascending
+// ID order, with b's frequency for it — the ranking walk: a is a match
+// set, b a term's posting list whose frequencies score the match.
+func IntersectEach(a, b *List, f func(id FileID, bCount uint32)) {
+	i, j := 0, 0
+	for i < len(a.ids) && j < len(b.ids) {
+		x, y := a.ids[i], b.ids[j]
+		switch {
+		case x < y:
+			i++
+		case y < x:
+			j++
+		default:
+			f(x, b.CountAt(j))
+			i++
+			j++
+		}
+	}
+}
+
+// Union returns all postings in a or b (boolean OR), with Merge's
+// frequency discipline on postings present in both.
 func Union(a, b *List) *List {
 	return a.Clone().Merge(b)
 }
 
-// Difference returns the postings in a but not in b (boolean AND NOT).
+// Difference returns the postings in a but not in b (boolean AND NOT),
+// keeping a's frequencies for the survivors.
 func Difference(a, b *List) *List {
 	out := &List{ids: make([]FileID, 0, a.Len())}
+	if a.counts != nil {
+		out.counts = make([]uint32, 0, a.Len())
+	}
 	i, j := 0, 0
 	for i < len(a.ids) {
 		for j < len(b.ids) && b.ids[j] < a.ids[i] {
@@ -199,8 +410,14 @@ func Difference(a, b *List) *List {
 		}
 		if j >= len(b.ids) || b.ids[j] != a.ids[i] {
 			out.ids = append(out.ids, a.ids[i])
+			if out.counts != nil {
+				out.counts = append(out.counts, a.counts[i])
+			}
 		}
 		i++
+	}
+	if out.counts != nil {
+		out.normalize()
 	}
 	return out
 }

@@ -5,10 +5,21 @@ import (
 	"fmt"
 )
 
+// Frequency-section markers following the delta-coded IDs: listBoolean
+// means every posting has frequency 1 and no count bytes follow;
+// listCounted means one uvarint(frequency-1) per posting follows.
+const (
+	listBoolean = 0
+	listCounted = 1
+)
+
 // Encode appends a compact encoding of the list to dst and returns it:
-// a uvarint count followed by uvarint deltas between consecutive IDs.
-// Delta coding exploits the sorted invariant; small gaps dominate in dense
-// posting lists, making most deltas one byte.
+// a uvarint count, uvarint deltas between consecutive IDs, then a
+// frequency-section marker and — for counted lists — uvarint(frequency-1)
+// per posting. Delta coding exploits the sorted invariant; small gaps
+// dominate in dense posting lists, making most deltas one byte, and the
+// frequency-1 bias makes the overwhelmingly common single-occurrence
+// posting cost one zero byte.
 func (l *List) Encode(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(l.ids)))
 	prev := FileID(0)
@@ -19,6 +30,13 @@ func (l *List) Encode(dst []byte) []byte {
 		}
 		dst = binary.AppendUvarint(dst, delta)
 		prev = id
+	}
+	if l.counts == nil {
+		return append(dst, listBoolean)
+	}
+	dst = append(dst, listCounted)
+	for _, c := range l.counts {
+		dst = binary.AppendUvarint(dst, uint64(c-1))
 	}
 	return dst
 }
@@ -57,6 +75,30 @@ func Decode(buf []byte) (*List, int, error) {
 		l.ids = append(l.ids, FileID(id))
 		prev = id
 	}
+	if off >= len(buf) {
+		return nil, 0, fmt.Errorf("postings: missing frequency marker")
+	}
+	marker := buf[off]
+	off++
+	switch marker {
+	case listBoolean:
+	case listCounted:
+		l.counts = make([]uint32, 0, count)
+		for i := uint64(0); i < count; i++ {
+			c, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("postings: corrupt frequency at %d", i)
+			}
+			if c > 0xFFFF_FFFE {
+				return nil, 0, fmt.Errorf("postings: frequency %d overflows at %d", c, i)
+			}
+			off += n
+			l.counts = append(l.counts, uint32(c)+1)
+		}
+		l.normalize()
+	default:
+		return nil, 0, fmt.Errorf("postings: unknown frequency marker %d", marker)
+	}
 	return l, off, nil
 }
 
@@ -71,6 +113,10 @@ func (l *List) EncodedSize() int {
 		}
 		size += uvarintLen(delta)
 		prev = id
+	}
+	size++ // frequency marker
+	for _, c := range l.counts {
+		size += uvarintLen(uint64(c - 1))
 	}
 	return size
 }

@@ -1,7 +1,7 @@
 package search
 
 import (
-	"sort"
+	"context"
 	"sync"
 
 	"desksearch/internal/index"
@@ -14,10 +14,17 @@ type Hit struct {
 	File postings.FileID
 	// Path is the matched file's path.
 	Path string
-	// Score counts how many distinct positive query terms the file
-	// contains (coordination ranking); for pure conjunctions every hit
-	// scores the same, for OR queries broader matches rank higher.
+	// Score ranks the hit: under RankCoordination it counts how many
+	// distinct positive query terms the file contains (for pure
+	// conjunctions every hit scores the same, for OR queries broader
+	// matches rank higher); under RankTF it sums the positive terms'
+	// occurrence counts in the file.
 	Score int
+	// Terms lists the positive query terms the file contains, in the
+	// query's term order — the matched-term metadata of the v2 API. Only
+	// the first 64 positive terms of a query are tracked; nil when none
+	// matched (pure NOT queries).
+	Terms []string
 }
 
 // Engine executes queries over one or more indices sharing a file table —
@@ -60,7 +67,7 @@ func (e *Engine) Indices() int { return len(e.indices) }
 // Maintain runs f — an index or file-table mutation — with every query
 // excluded, then invalidates the cached universes. It is the write side of
 // the engine's read-write discipline: incremental updates route their
-// commit phase through Maintain so a concurrent Search never observes a
+// commit phase through Maintain so a concurrent query never observes a
 // half-applied changeset or a stale NOT universe.
 func (e *Engine) Maintain(f func()) {
 	e.mu.Lock()
@@ -70,7 +77,7 @@ func (e *Engine) Maintain(f func()) {
 }
 
 // View runs f with updates excluded but queries admitted — the read-side
-// companion to Maintain for callers that walk the indices outside Search
+// companion to Maintain for callers that walk the indices outside Query
 // (statistics, persistence).
 func (e *Engine) View(f func()) {
 	e.mu.RLock()
@@ -88,12 +95,33 @@ func (e *Engine) Invalidate() {
 	e.mu.Unlock()
 }
 
-// Search evaluates q and returns hits sorted by descending score, then
-// ascending file ID. With more than one partition the query fans out to one
-// goroutine per partition; each evaluates, scores, and ranks its own hits,
-// and the already-ranked per-partition lists are then merged — the sort
-// happens inside the fan-out instead of globally afterwards.
+// Search evaluates q and returns every hit sorted by descending score,
+// then ascending file ID — the v1 entry point, now a thin wrapper over
+// Query with no limit, no offset, coordination ranking, and no per-hit
+// term metadata (v1 hits never carried it).
 func (e *Engine) Search(q *Query) []Hit {
+	resp, err := e.Query(context.Background(), Request{Query: q, OmitTerms: true})
+	if err != nil {
+		// A background context never cancels and a bare query request is
+		// always valid, so the only failure is a nil/empty query — which
+		// matches nothing.
+		return nil
+	}
+	return resp.Hits
+}
+
+// SearchString parses and evaluates a query in one step.
+func (e *Engine) SearchString(text string) ([]Hit, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Search(q), nil
+}
+
+// lockShared acquires the engine's read lock with the universe cache
+// filled, returning the cached universes. The caller must RUnlock.
+func (e *Engine) lockShared() []*postings.List {
 	e.mu.RLock()
 	for e.universes == nil {
 		// Upgrade to the write lock to fill the cache, then downgrade and
@@ -106,38 +134,17 @@ func (e *Engine) Search(q *Query) []Hit {
 		e.mu.Unlock()
 		e.mu.RLock()
 	}
-	defer e.mu.RUnlock()
-	unis := e.universes
-	ranked := make([][]Hit, len(e.indices))
-	if e.Parallel && len(e.indices) > 1 {
-		var wg sync.WaitGroup
-		for i, ix := range e.indices {
-			wg.Add(1)
-			go func(i int, ix *index.Index) {
-				defer wg.Done()
-				ranked[i] = sortHits(e.searchOne(ix, unis[i], q))
-			}(i, ix)
-		}
-		wg.Wait()
-	} else {
-		for i, ix := range e.indices {
-			ranked[i] = sortHits(e.searchOne(ix, unis[i], q))
-		}
-	}
-	return mergeRanked(ranked)
+	return e.universes
 }
 
 // hitLess is the result order: descending score, then ascending file ID.
+// It is a total order (file IDs are unique), which is what makes bounded
+// top-k retrieval return exactly the prefix a full sort would.
 func hitLess(a, b Hit) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
 	return a.File < b.File
-}
-
-func sortHits(hits []Hit) []Hit {
-	sort.Slice(hits, func(i, j int) bool { return hitLess(hits[i], hits[j]) })
-	return hits
 }
 
 // mergeRanked merges per-partition ranked hit lists into one ranked list by
@@ -184,13 +191,42 @@ func mergeTwo(a, b []Hit) []Hit {
 	return out
 }
 
-// SearchString parses and evaluates a query in one step.
-func (e *Engine) SearchString(text string) ([]Hit, error) {
-	q, err := Parse(text)
-	if err != nil {
-		return nil, err
+// mergePage k-way merges per-partition ranked hit lists, stopping as soon
+// as n hits are collected — the page-bounded counterpart of mergeRanked.
+// Partition counts are small, so a linear scan over the heads beats heap
+// bookkeeping.
+func mergePage(parts [][]Hit, n int) []Hit {
+	// n comes from user-supplied Limit+Offset; never allocate past what
+	// the partitions actually hold.
+	avail := 0
+	for _, p := range parts {
+		avail += len(p)
 	}
-	return e.Search(q), nil
+	if n > avail {
+		n = avail
+	}
+	heads := make([]int, len(parts))
+	out := make([]Hit, 0, n)
+	for len(out) < n {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best == -1 || hitLess(p[heads[i]], parts[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // computeUniverses builds, per index, the posting list of files that index
@@ -214,7 +250,10 @@ func (e *Engine) computeUniverses() []*postings.List {
 	for i, ix := range e.indices {
 		u := &postings.List{}
 		ix.Range(func(_ string, l *postings.List) bool {
-			u.Merge(l.Clone())
+			// Universes are pure ID sets: copy the IDs only, or every
+			// merge would drag term frequencies along just to sum and
+			// cache values NOT evaluation never reads.
+			u.Merge(postings.FromSortedIDs(l.IDs()))
 			return true
 		})
 		universes[i] = u
@@ -233,63 +272,49 @@ func (e *Engine) allFiles() *postings.List {
 	return postings.FromSortedIDs(e.files.LiveIDs(nil))
 }
 
-// searchOne evaluates q against a single index and scores its matches.
-func (e *Engine) searchOne(ix *index.Index, universe *postings.List, q *Query) []Hit {
-	matched := eval(ix, q.root, universe)
-	if matched == nil || matched.Len() == 0 {
-		return nil
+// eval computes the posting list of files satisfying n within one index,
+// checking ctx between evaluation steps: a canceled context makes the
+// remaining steps return empty lists immediately, so an in-flight
+// partition aborts at the next node boundary. A termNode result may alias
+// the index's live storage: no boolean operator mutates its operands, the
+// result is consumed entirely inside queryOne while Query still holds the
+// engine's read lock (updates commit under the write lock), and the hits
+// handed back to the caller are independent structs — so the lookup stays
+// allocation-free on the hot path.
+func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List) *postings.List {
+	if ctx.Err() != nil {
+		return &postings.List{}
 	}
-	// Coordination scores: +1 per positive term present.
-	scores := make(map[postings.FileID]int, matched.Len())
-	for _, id := range matched.IDs() {
-		scores[id] = 0
-	}
-	for _, term := range q.positive {
-		l := ix.Lookup(term)
-		if l == nil {
-			continue
-		}
-		for _, id := range postings.Intersect(matched, l).IDs() {
-			scores[id]++
-		}
-	}
-	hits := make([]Hit, 0, matched.Len())
-	for _, id := range matched.IDs() {
-		hits = append(hits, Hit{File: id, Path: e.files.Path(id), Score: scores[id]})
-	}
-	return hits
-}
-
-// eval computes the posting list of files satisfying n within one index.
-// Every list it returns is owned by the caller: term lookups are cloned at
-// the boundary rather than aliased to the index's live storage, so a
-// result can never be mutated out from under its consumer by a concurrent
-// incremental update committed after the query finishes.
-func eval(ix *index.Index, n node, universe *postings.List) *postings.List {
 	switch v := n.(type) {
 	case termNode:
 		l := ix.Lookup(v.term)
 		if l == nil {
 			return &postings.List{}
 		}
-		return l.Clone()
+		return l
 	case andNode:
-		acc := eval(ix, v.kids[0], universe)
+		acc := eval(ctx, ix, v.kids[0], universe)
 		for _, k := range v.kids[1:] {
-			if acc.Len() == 0 {
+			if acc.Len() == 0 || ctx.Err() != nil {
 				return acc
 			}
-			acc = postings.Intersect(acc, eval(ix, k, universe))
+			acc = postings.Intersect(acc, eval(ctx, ix, k, universe))
 		}
 		return acc
 	case orNode:
 		acc := &postings.List{}
 		for _, k := range v.kids {
-			acc = postings.Union(acc, eval(ix, k, universe))
+			if ctx.Err() != nil {
+				return acc
+			}
+			// WithoutCounts keeps the union a pure ID merge: a kid may be
+			// a live counted term list, and match sets never read
+			// frequencies (ranking walks the term lists via IntersectEach).
+			acc.Merge(eval(ctx, ix, k, universe).WithoutCounts())
 		}
 		return acc
 	case notNode:
-		return postings.Difference(universe, eval(ix, v.kid, universe))
+		return postings.Difference(universe, eval(ctx, ix, v.kid, universe))
 	default:
 		return &postings.List{}
 	}

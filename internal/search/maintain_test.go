@@ -25,7 +25,7 @@ func maintFixture() (*index.FileTable, *index.Index) {
 	}
 	for i, terms := range docs {
 		id := files.Add(fmt.Sprintf("doc%d.txt", i), int64(len(terms)), int64(i+1))
-		ix.AddBlock(id, terms)
+		ix.AddBlock(id, terms, nil)
 	}
 	return files, ix
 }
@@ -80,7 +80,7 @@ func TestNotExcludesRemovedFileAcrossReplicas(t *testing.T) {
 	docs := [][]string{{"alpha"}, {"beta"}, {"alpha", "beta"}, {"gamma"}}
 	for i, terms := range docs {
 		id := files.Add(fmt.Sprintf("r%d.txt", i), 1, int64(i+1))
-		replicas[i%2].AddBlock(id, terms)
+		replicas[i%2].AddBlock(id, terms, nil)
 	}
 	e := NewEngine(files, replicas...)
 	if hits, _ := e.SearchString("-alpha"); len(hits) != 2 {
@@ -150,7 +150,7 @@ func TestConcurrentSearchAndUpdate(t *testing.T) {
 		blocks := [][]string{{"alpha", "epsilon"}, {"beta"}, {"alpha", "beta", "gamma"}}
 		for i := 0; i < 200; i++ {
 			e.Maintain(func() {
-				ix.UpdateFile(postings.FileID(i%3), blocks[i%len(blocks)])
+				ix.UpdateFile(postings.FileID(i%3), blocks[i%len(blocks)], nil)
 			})
 		}
 		close(stop)

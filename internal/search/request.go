@@ -1,0 +1,287 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"desksearch/internal/index"
+	"desksearch/internal/postings"
+)
+
+// Ranking selects how hits are scored.
+type Ranking int
+
+const (
+	// RankCoordination scores a hit by how many distinct positive query
+	// terms the file contains — the v1 behavior and the default.
+	RankCoordination Ranking = iota
+	// RankTF scores a hit by the summed occurrence counts (term
+	// frequencies) of the positive query terms in the file, so a file
+	// that mentions a term many times outranks one that mentions it once.
+	RankTF
+)
+
+// String names the ranking mode.
+func (r Ranking) String() string {
+	switch r {
+	case RankCoordination:
+		return "coordination"
+	case RankTF:
+		return "tf"
+	default:
+		return fmt.Sprintf("Ranking(%d)", int(r))
+	}
+}
+
+// Request is a v2 query: a parsed boolean expression plus retrieval
+// controls. The zero controls reproduce v1 Search exactly — every hit,
+// coordination-ranked.
+type Request struct {
+	// Query is the parsed boolean expression to evaluate.
+	Query *Query
+	// Limit caps the number of hits returned; 0 means unlimited. With a
+	// limit, each partition retains only its local top Limit+Offset hits
+	// in a bounded min-heap instead of sorting its full hit list.
+	Limit int
+	// Offset skips that many hits before the returned page — pagination's
+	// second half. Offset without Limit is honored against the full
+	// ranked result.
+	Offset int
+	// Ranking selects the scoring mode.
+	Ranking Ranking
+	// PathPrefix, when non-empty, keeps only hits whose path starts with
+	// it (a cheap directory filter); filtered-out matches do not count
+	// toward Response.Total.
+	PathPrefix string
+	// OmitTerms skips the per-hit matched-term metadata — the v1
+	// compatibility path, whose callers discard it, uses this to keep the
+	// full-result Search as allocation-lean as before the redesign.
+	OmitTerms bool
+}
+
+// PartitionStat is one partition's share of a query's work.
+type PartitionStat struct {
+	// Partition is the index's position in the engine's partition list.
+	Partition int
+	// Matched counts the partition's matches after path filtering —
+	// before the top-k truncation, so partition Matched values sum to
+	// Response.Total.
+	Matched int
+	// Duration is the partition's evaluation wall time.
+	Duration time.Duration
+}
+
+// Response is the result of a v2 query.
+type Response struct {
+	// Hits is the requested page, ordered by descending score then
+	// ascending file ID.
+	Hits []Hit
+	// Total is the number of matches across all partitions — the count
+	// pagination pages through, independent of Limit/Offset.
+	Total int
+	// Partitions reports per-partition match counts and timings, in
+	// partition order.
+	Partitions []PartitionStat
+}
+
+// partResult is one partition's contribution to a query.
+type partResult struct {
+	hits    []Hit
+	matched int
+	dur     time.Duration
+}
+
+// Query evaluates req over every partition and returns the requested page.
+//
+// With more than one partition the query fans out to one goroutine per
+// partition; each evaluates, scores, and keeps its local top Limit+Offset
+// hits in a bounded min-heap (its full hit list when unbounded), and the
+// per-partition ranked lists are k-way merged only until the page is
+// full. Cancellation is honored between evaluation steps: a context
+// canceled mid-fan-out aborts the in-flight partitions at their next step
+// boundary and Query returns ctx.Err() with no goroutines left behind.
+func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	if req.Query == nil || req.Query.root == nil {
+		return nil, fmt.Errorf("search: request has no query")
+	}
+	if req.Limit < 0 {
+		return nil, fmt.Errorf("search: negative limit %d", req.Limit)
+	}
+	if req.Offset < 0 {
+		return nil, fmt.Errorf("search: negative offset %d", req.Offset)
+	}
+	switch req.Ranking {
+	case RankCoordination, RankTF:
+	default:
+		return nil, fmt.Errorf("search: unknown ranking mode %d", int(req.Ranking))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	unis := e.lockShared()
+	defer e.mu.RUnlock()
+
+	// Each partition only ever contributes to one page of Limit hits at
+	// Offset, so its local top Limit+Offset bound every merge outcome.
+	k := 0
+	if req.Limit > 0 {
+		k = req.Limit + req.Offset
+	}
+	parts := make([]partResult, len(e.indices))
+	if e.Parallel && len(e.indices) > 1 {
+		var wg sync.WaitGroup
+		for i, ix := range e.indices {
+			wg.Add(1)
+			go func(i int, ix *index.Index) {
+				defer wg.Done()
+				parts[i] = e.queryOne(ctx, ix, unis[i], req, k)
+			}(i, ix)
+		}
+		wg.Wait()
+	} else {
+		for i, ix := range e.indices {
+			if ctx.Err() != nil {
+				break
+			}
+			parts[i] = e.queryOne(ctx, ix, unis[i], req, k)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	resp := &Response{Partitions: make([]PartitionStat, len(parts))}
+	ranked := make([][]Hit, len(parts))
+	for i, p := range parts {
+		resp.Total += p.matched
+		resp.Partitions[i] = PartitionStat{Partition: i, Matched: p.matched, Duration: p.dur}
+		ranked[i] = p.hits
+	}
+	var merged []Hit
+	if k > 0 {
+		merged = mergePage(ranked, k)
+	} else {
+		merged = mergeRanked(ranked)
+	}
+	if req.Offset > 0 {
+		if req.Offset >= len(merged) {
+			merged = nil
+		} else {
+			merged = merged[req.Offset:]
+		}
+	}
+	if req.Limit > 0 && len(merged) > req.Limit {
+		merged = merged[:req.Limit]
+	}
+	resp.Hits = merged
+	return resp, nil
+}
+
+// scored is a hit plus the bitmask of positive query terms it matched
+// (bit i = positive term i, first 64 terms); the mask is expanded to
+// Hit.Terms only for the hits that survive top-k selection.
+type scored struct {
+	hit  Hit
+	mask uint64
+}
+
+// queryOne evaluates req against a single partition: match, score, filter,
+// and retain the local top k (all hits when k == 0), ranked.
+func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postings.List, req Request, k int) partResult {
+	start := time.Now()
+	matched := eval(ctx, ix, req.Query.root, universe)
+	if ctx.Err() != nil || matched.Len() == 0 {
+		return partResult{dur: time.Since(start)}
+	}
+
+	// Score pass: one bounded intersection per positive term accumulates
+	// the score and the matched-term mask.
+	type fileScore struct {
+		score int
+		mask  uint64
+	}
+	scores := make(map[postings.FileID]fileScore, matched.Len())
+	for ti, term := range req.Query.positive {
+		if ctx.Err() != nil {
+			return partResult{dur: time.Since(start)}
+		}
+		l := ix.Lookup(term)
+		if l == nil {
+			continue
+		}
+		postings.IntersectEach(matched, l, func(id postings.FileID, count uint32) {
+			fs := scores[id]
+			if req.Ranking == RankTF {
+				fs.score += int(count)
+			} else {
+				fs.score++
+			}
+			if ti < 64 {
+				fs.mask |= 1 << uint(ti)
+			}
+			scores[id] = fs
+		})
+	}
+
+	// Selection pass: walk the match list, filter by path prefix, and
+	// feed a bounded heap (or collect everything when unbounded).
+	res := partResult{}
+	heap := newTopK(k)
+	var all []scored
+	for i, id := range matched.IDs() {
+		if i&1023 == 0 && ctx.Err() != nil {
+			return partResult{dur: time.Since(start)}
+		}
+		path := e.files.Path(id)
+		if req.PathPrefix != "" && !strings.HasPrefix(path, req.PathPrefix) {
+			continue
+		}
+		res.matched++
+		fs := scores[id]
+		s := scored{hit: Hit{File: id, Path: path, Score: fs.score}, mask: fs.mask}
+		if k > 0 {
+			heap.consider(s)
+		} else {
+			all = append(all, s)
+		}
+	}
+	if k > 0 {
+		all = heap.ranked()
+	} else {
+		sortScored(all)
+	}
+	if len(all) > 0 {
+		res.hits = make([]Hit, len(all))
+		for i, s := range all {
+			h := s.hit
+			if !req.OmitTerms {
+				h.Terms = termsFromMask(req.Query.positive, s.mask)
+			}
+			res.hits[i] = h
+		}
+	}
+	res.dur = time.Since(start)
+	return res
+}
+
+// termsFromMask expands a matched-term bitmask back into the query's
+// positive terms, preserving query order.
+func termsFromMask(positive []string, mask uint64) []string {
+	if mask == 0 {
+		return nil
+	}
+	out := make([]string, 0, 4)
+	for i, term := range positive {
+		if i >= 64 {
+			break
+		}
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, term)
+		}
+	}
+	return out
+}

@@ -35,8 +35,8 @@ func fixture() (*index.FileTable, *index.Index, []*index.Index) {
 	replicas := []*index.Index{index.New(0), index.New(0), index.New(0)}
 	for i, terms := range docs {
 		id := files.Add("doc"+string(rune('0'+i))+".txt", int64(10*i), int64(i+1))
-		single.AddBlock(id, terms)
-		replicas[i%3].AddBlock(id, terms)
+		single.AddBlock(id, terms, nil)
+		replicas[i%3].AddBlock(id, terms, nil)
 	}
 	return files, single, replicas
 }
@@ -269,8 +269,8 @@ func TestReplicaEquivalenceQuick(t *testing.T) {
 				}
 			}
 			id := files.Add("f", int64(i), int64(i+1))
-			single.AddBlock(id, terms)
-			replicas[i%r].AddBlock(id, terms)
+			single.AddBlock(id, terms, nil)
+			replicas[i%r].AddBlock(id, terms, nil)
 		}
 		se := NewEngine(files, single)
 		re := NewEngine(files, replicas...)

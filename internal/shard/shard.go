@@ -182,18 +182,21 @@ func Distribute(files *index.FileTable, sources []*index.Index, n int) *Set {
 			defer wg.Done()
 			dst := index.New(totalTerms / n)
 			var mine []postings.FileID
+			var mineCounts []uint32
 			for _, src := range sources {
 				src.Range(func(term string, l *postings.List) bool {
-					mine = mine[:0]
-					for _, id := range l.IDs() {
+					mine, mineCounts = mine[:0], mineCounts[:0]
+					for i, id := range l.IDs() {
 						if assign[id] == s {
 							mine = append(mine, id)
+							mineCounts = append(mineCounts, l.CountAt(i))
 						}
 					}
 					if len(mine) > 0 {
 						// Filtering an ascending list keeps it ascending,
-						// so the sort-free constructor applies.
-						dst.MergeTerm(term, postings.FromSortedIDs(mine))
+						// so the sort-free constructor applies; frequencies
+						// travel with their postings.
+						dst.MergeTerm(term, postings.FromSortedIDCounts(mine, mineCounts))
 					}
 					return true
 				})

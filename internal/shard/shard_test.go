@@ -28,7 +28,7 @@ func buildCorpus(t testing.TB) (*index.FileTable, *index.Index, [][]string) {
 	ix := index.New(16)
 	for i, terms := range blocks {
 		id := files.Add("file-"+string(rune('a'+i)), int64(len(terms)), int64(i+1))
-		ix.AddBlock(id, terms)
+		ix.AddBlock(id, terms, nil)
 	}
 	return files, ix, blocks
 }
@@ -114,7 +114,7 @@ func TestDistributeMultipleSources(t *testing.T) {
 	// Split the corpus round-robin into 3 "replicas", then re-shard to 4.
 	replicas := []*index.Index{index.New(8), index.New(8), index.New(8)}
 	for i, terms := range blocks {
-		replicas[i%3].AddBlock(postings.FileID(i), terms)
+		replicas[i%3].AddBlock(postings.FileID(i), terms, nil)
 	}
 	set := Distribute(files, replicas, 4)
 	checkPartition(t, set, ix, true)
@@ -133,7 +133,7 @@ func TestFromReplicas(t *testing.T) {
 	files, ix, blocks := buildCorpus(t)
 	replicas := []*index.Index{index.New(8), index.New(8)}
 	for i, terms := range blocks {
-		replicas[i%2].AddBlock(postings.FileID(i), terms)
+		replicas[i%2].AddBlock(postings.FileID(i), terms, nil)
 	}
 	set := FromReplicas(files, replicas)
 	if set.Len() != 2 {

@@ -1,0 +1,343 @@
+package desksearch
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"desksearch/internal/vfs"
+)
+
+// syntheticFS builds an n-file corpus over a small vocabulary: word w
+// appears in every (w+1)-th file, repeated a file-dependent number of
+// times so term frequencies differ from document frequencies.
+func syntheticFS(t testing.TB, n int) *vfs.MemFS {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for w, word := range words {
+			if i%(w+1) == 0 {
+				for r := 0; r <= i%5; r++ {
+					sb.WriteString(word)
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "unique%04d", i)
+		if err := fs.WriteFile(fmt.Sprintf("dir%d/doc%04d.txt", i%4, i), []byte(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// shardedCatalog builds a catalog over fs with the given partition count.
+func shardedCatalog(t testing.TB, fs *vfs.MemFS, shards int) *Catalog {
+	t.Helper()
+	cat, err := IndexFS(fs, ".", Options{
+		Implementation: ReplicatedSearch, Extractors: 4, Updaters: 2, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestQueryPaginationMatchesSearch is the acceptance property: across
+// 1/2/4/8 partitions, every page Query returns is byte-identical to the
+// corresponding slice of the old full-sort Search result, and pages are
+// stable (repeating a request returns the same page).
+func TestQueryPaginationMatchesSearch(t *testing.T) {
+	fs := syntheticFS(t, 200)
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4, 8} {
+		cat := shardedCatalog(t, fs, shards)
+		for _, qs := range []string{"alpha", "beta OR gamma", "alpha -delta", "beta OR gamma OR zeta"} {
+			baseline, err := cat.Search(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, page := range []struct{ limit, offset int }{
+				{10, 0}, {1, 0}, {25, 13}, {10, len(baseline) - 3}, {10, len(baseline) + 10}, {0, 7},
+			} {
+				want := baseline
+				if page.offset > 0 {
+					if page.offset >= len(want) {
+						want = nil
+					} else {
+						want = want[page.offset:]
+					}
+				}
+				if page.limit > 0 && len(want) > page.limit {
+					want = want[:page.limit]
+				}
+				resp, err := cat.Query(ctx, Query{Text: qs, Limit: page.limit, Offset: page.offset})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]Result, len(resp.Hits))
+				for i, h := range resp.Hits {
+					got[i] = Result{Path: h.Path, Score: h.Score}
+				}
+				if len(want) == 0 {
+					want = []Result{}
+				}
+				if len(got) == 0 {
+					got = []Result{}
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d %q limit=%d offset=%d:\n got %v\nwant %v",
+						shards, qs, page.limit, page.offset, got, want)
+				}
+				if resp.Total != len(baseline) {
+					t.Errorf("shards=%d %q: Total = %d, want %d", shards, qs, resp.Total, len(baseline))
+				}
+				again, err := cat.Query(ctx, Query{Text: qs, Limit: page.limit, Offset: page.offset})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(resp.Hits, again.Hits) {
+					t.Errorf("shards=%d %q limit=%d offset=%d: pages not stable", shards, qs, page.limit, page.offset)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	fs := syntheticFS(t, 300)
+	cat := shardedCatalog(t, fs, 4)
+	if _, err := cat.Search("alpha"); err != nil { // warm universes
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	// A context canceled before the call fails with ctx.Err() immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cat.Query(ctx, Query{Text: "alpha OR beta", Limit: 10}); err != context.Canceled {
+		t.Fatalf("pre-canceled query err = %v, want context.Canceled", err)
+	}
+
+	// Cancel racing the fan-out: the query must return promptly with
+	// either a complete result or ctx.Err() — and leave no goroutines.
+	for i := 0; i < 50; i++ {
+		qctx, qcancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := cat.Query(qctx, Query{Text: "alpha OR beta OR gamma OR delta", Limit: 10})
+			done <- err
+		}()
+		qcancel()
+		select {
+		case err := <-done:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("iteration %d: err = %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: canceled query did not return", i)
+		}
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked: %d running, started with %d", g, before)
+	}
+}
+
+// TestQueryConcurrentWithUpdate races paginated queries against
+// incremental updates; under -race this verifies the engine's maintenance
+// locking covers the v2 path.
+func TestQueryConcurrentWithUpdate(t *testing.T) {
+	fs := syntheticFS(t, 120)
+	cat := shardedCatalog(t, fs, 4)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cat.Query(ctx, Query{Text: "alpha OR beta", Limit: 5, Ranking: RankTF})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(resp.Hits) > 5 {
+					t.Errorf("limit ignored: %d hits", len(resp.Hits))
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 5; round++ {
+		for j := 0; j < 12; j++ {
+			p := fmt.Sprintf("dir%d/doc%04d.txt", j%4, j)
+			content := fmt.Sprintf("alpha churned beta round%d edit%d", round, j)
+			if err := fs.WriteFile(p, []byte(content)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := cat.Update(fs, "."); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQueryTFRankingPublic(t *testing.T) {
+	fs := vfs.NewMemFS()
+	files := map[string]string{
+		"many.txt": "storm storm storm storm calm",
+		"few.txt":  "storm calm breeze",
+	}
+	for name, content := range files {
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat, err := IndexFS(fs, ".", Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	coord, err := cat.Query(ctx, Query{Text: "storm OR breeze"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.Hits[0].Path != "few.txt" || coord.Hits[0].Score != 2 {
+		t.Errorf("coordination top hit = %+v", coord.Hits[0])
+	}
+	tf, err := cat.Query(ctx, Query{Text: "storm OR breeze", Ranking: RankTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Hits[0].Path != "many.txt" || tf.Hits[0].Score != 4 {
+		t.Errorf("tf top hit = %+v", tf.Hits[0])
+	}
+	if !reflect.DeepEqual(tf.Hits[0].Terms, []string{"storm"}) {
+		t.Errorf("tf top hit terms = %v", tf.Hits[0].Terms)
+	}
+}
+
+func TestQueryPathPrefixPublic(t *testing.T) {
+	fs := syntheticFS(t, 80)
+	cat := shardedCatalog(t, fs, 4)
+	resp, err := cat.Query(context.Background(), Query{Text: "alpha", PathPrefix: "dir2/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 20 {
+		t.Errorf("Total = %d, want 20", resp.Total)
+	}
+	for _, h := range resp.Hits {
+		if !strings.HasPrefix(h.Path, "dir2/") {
+			t.Errorf("hit %q escapes prefix", h.Path)
+		}
+	}
+}
+
+func TestQueryExprReuse(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := ParseQuery("quarterly report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.String() != "(quarterly AND report)" {
+		t.Errorf("Expr.String = %q", expr.String())
+	}
+	ctx := context.Background()
+	byExpr, err := cat.Query(ctx, Query{Expr: expr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byText, err := cat.Query(ctx, Query{Text: "quarterly report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byExpr.Hits, byText.Hits) {
+		t.Errorf("Expr and Text disagree: %v vs %v", byExpr.Hits, byText.Hits)
+	}
+	if _, err := ParseQuery("((("); err == nil {
+		t.Error("bad query parsed")
+	}
+}
+
+func TestQueryRequestValidation(t *testing.T) {
+	cat, err := IndexFS(demoFS(t), ".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, q := range map[string]Query{
+		"parse error":      {Text: "((("},
+		"negative limit":   {Text: "report", Limit: -1},
+		"negative offset":  {Text: "report", Offset: -3},
+		"unknown ranking":  {Text: "report", Ranking: Ranking(77)},
+		"empty query text": {},
+	} {
+		if _, err := cat.Query(ctx, q); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestOptionsValidateNegatives: negative option values fail fast with an
+// error naming the field, instead of misbehaving downstream.
+func TestOptionsValidateNegatives(t *testing.T) {
+	fs := demoFS(t)
+	for field, opt := range map[string]Options{
+		"Shards":     {Shards: -1},
+		"Extractors": {Extractors: -2},
+		"Updaters":   {Updaters: -3},
+		"Joiners":    {Joiners: -4},
+		"MinTermLen": {MinTermLen: -5},
+	} {
+		_, err := IndexFS(fs, ".", opt)
+		if err == nil {
+			t.Errorf("negative %s accepted", field)
+			continue
+		}
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("error for negative %s does not name it: %v", field, err)
+		}
+	}
+}
+
+// TestStatsExactTerms: a sharded catalog reports the same distinct-term
+// count as the equivalent single-index build — the per-partition sum it
+// used to report counts shared terms once per shard.
+func TestStatsExactTerms(t *testing.T) {
+	fs := demoFS(t)
+	seq, err := IndexFS(fs, ".", Options{Implementation: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := IndexFS(fs, ".", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sharded.Stats().Terms, seq.Stats().Terms; got != want {
+		t.Errorf("sharded Terms = %d, sequential = %d", got, want)
+	}
+}
