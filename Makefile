@@ -9,7 +9,13 @@ STATICCHECK_VERSION ?= 2025.1
 # govulncheck version, matching .github/workflows/ci.yml.
 GOVULNCHECK_VERSION ?= latest
 
-.PHONY: build test vet fmt lint vuln bench ci
+# The bench-regression gate: which benchmarks are compared against
+# bench_baseline.json, and how they are run. -count=3 with benchcheck's
+# min-of-runs parsing keeps single noisy runs from tripping the gate.
+BENCH_GATE = ^(BenchmarkTopKQuery|BenchmarkShardedBuild)$$
+BENCH_GATE_FLAGS = -run '^$$' -bench '$(BENCH_GATE)' -benchtime=10x -count=3
+
+.PHONY: build test vet fmt lint vuln bench bench-check bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -60,4 +66,20 @@ bench:
 	$(GO) test -run='^$$' -bench='^BenchmarkTopKQuery$$' -benchtime=1x .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet fmt lint vuln test bench
+# bench-check fails when any gated benchmark (the top-k query path and the
+# 4-shard build) regressed past bench_baseline.json's tolerance, or when a
+# machine-independent ratio gate (bounded heap vs full sort) breaks.
+# BENCH_TOLERANCE overrides the file's absolute tolerance — CI uses a
+# looser one because its runners are not the baseline's hardware; the
+# ratio gates hold at full strength everywhere.
+BENCH_TOLERANCE ?=
+bench-check:
+	$(GO) test $(BENCH_GATE_FLAGS) . | $(GO) run ./cmd/benchcheck -baseline bench_baseline.json $(if $(BENCH_TOLERANCE),-tolerance $(BENCH_TOLERANCE))
+
+# bench-baseline re-records bench_baseline.json from this machine. Run it
+# after an intentional perf change (or on new reference hardware) and
+# commit the result.
+bench-baseline:
+	$(GO) test $(BENCH_GATE_FLAGS) . | $(GO) run ./cmd/benchcheck -baseline bench_baseline.json -update
+
+ci: build vet fmt lint vuln test bench bench-check

@@ -427,6 +427,22 @@ func buildShards(b *testing.B, n int) *core.Result {
 	return res
 }
 
+// BenchmarkShardedBuild measures end-to-end index construction into a
+// 4-shard catalog — the bench-regression gate's build-side canary (see
+// bench_baseline.json and make bench-check).
+func BenchmarkShardedBuild(b *testing.B) {
+	fs := liveCorpus(b)
+	b.Run("shards-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(fs, ".", core.Config{
+				Implementation: core.ReplicatedSearch, Extractors: 4, Updaters: 4, Shards: 4,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkShardedSearch measures fan-out query latency across shard
 // counts: 1 shard is the single-index baseline the fan-out overhead and
 // speed-up are judged against.

@@ -1,0 +1,280 @@
+// Command benchcheck is the CI bench-regression gate: it parses `go test
+// -bench` output from stdin, compares every benchmark named in a
+// checked-in baseline against its recorded ns/op, and fails when any of
+// them regressed past the tolerance.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime 5x . | benchcheck -baseline bench_baseline.json
+//	go test -run '^$' -bench '...' -benchtime 5x . | benchcheck -baseline bench_baseline.json -update
+//
+// The baseline file:
+//
+//	{
+//	  "tolerance": 0.40,
+//	  "benchmarks": {
+//	    "BenchmarkTopKQuery/limit-10": {"ns_per_op": 123456},
+//	    ...
+//	  },
+//	  "ratios": [
+//	    {"name": "BenchmarkTopKQuery/limit-10",
+//	     "of": "BenchmarkTopKQuery/full-sort", "max": 0.85}
+//	  ]
+//	}
+//
+// Baselines record bare benchmark names (-update strips this machine's
+// -GOMAXPROCS decoration), and lookups tolerate the decoration on the
+// measuring side — so a baseline gates runners of any width. The
+// tolerance is deliberately generous (CI hardware is noisy);
+// the gate exists to catch order-of-magnitude regressions — an
+// accidentally quadratic merge, a lost fast path — not single-digit
+// percentage drift. A measured benchmark missing from stdin but present
+// in the baseline fails the gate too: a gate that silently skips its
+// benchmarks gates nothing. -update rewrites the baseline from the
+// measured values instead of comparing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in expectation file.
+type Baseline struct {
+	// Tolerance is the allowed fractional slowdown (0.40 = fail beyond
+	// +40% over the recorded ns/op).
+	Tolerance float64 `json:"tolerance"`
+	// Benchmarks maps a benchmark name (no -GOMAXPROCS suffix) to its
+	// recorded cost.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Ratios are machine-independent gates: both sides are measured in
+	// the same run on the same hardware, so they hold on any runner at
+	// any absolute speed. They encode algorithmic claims ("the bounded
+	// heap beats the full sort") that survive slow CI machines where the
+	// absolute tolerance would cry wolf.
+	Ratios []Ratio `json:"ratios,omitempty"`
+}
+
+// Entry is one benchmark's recorded cost.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Ratio asserts that Name's ns/op stays below Max times Of's ns/op.
+type Ratio struct {
+	Name string  `json:"name"`
+	Of   string  `json:"of"`
+	Max  float64 `json:"max"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8   	     100	   1234567 ns/op	  3 extra/metric
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// procSuffix is the trailing -GOMAXPROCS decoration on benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
+		update       = flag.Bool("update", false, "rewrite the baseline from measured values instead of comparing")
+		tolerance    = flag.Float64("tolerance", 0, "override the baseline file's tolerance (0 = use the file's)")
+	)
+	flag.Parse()
+
+	measured, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (pipe `go test -bench` output in)"))
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, measured, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d baseline entries to %s\n", len(measured), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	tol := base.Tolerance
+	if *tolerance > 0 {
+		tol = *tolerance
+	}
+	if tol <= 0 {
+		fatal(fmt.Errorf("%s: tolerance must be positive, got %v", *baselinePath, tol))
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		want := base.Benchmarks[name].NsPerOp
+		got, ok := lookup(measured, name)
+		if !ok {
+			fmt.Printf("FAIL  %-45s not measured (baseline %s)\n", name, fmtNs(want))
+			failed++
+			continue
+		}
+		limit := want * (1 + tol)
+		ratio := got / want
+		switch {
+		case got > limit:
+			fmt.Printf("FAIL  %-45s %s vs baseline %s (%.2fx, limit %.2fx)\n",
+				name, fmtNs(got), fmtNs(want), ratio, 1+tol)
+			failed++
+		default:
+			fmt.Printf("ok    %-45s %s vs baseline %s (%.2fx)\n",
+				name, fmtNs(got), fmtNs(want), ratio)
+		}
+	}
+	for _, r := range base.Ratios {
+		got, okA := lookup(measured, r.Name)
+		of, okB := lookup(measured, r.Of)
+		label := fmt.Sprintf("%s / %s", r.Name, r.Of)
+		if !okA || !okB {
+			fmt.Printf("FAIL  %s: not measured\n", label)
+			failed++
+			continue
+		}
+		ratio := got / of
+		if ratio > r.Max {
+			fmt.Printf("FAIL  %s = %.2f, limit %.2f\n", label, ratio, r.Max)
+			failed++
+		} else {
+			fmt.Printf("ok    %s = %.2f (limit %.2f)\n", label, ratio, r.Max)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchcheck: %d of %d gates failed (tolerance +%.0f%%)\n",
+			failed, len(names)+len(base.Ratios), tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d gates passed (tolerance +%.0f%%)\n", len(names)+len(base.Ratios), tol*100)
+}
+
+// parse reads `go test -bench` output and returns raw name → ns/op. A
+// benchmark that appears more than once (e.g. -count > 1) keeps its
+// fastest run: the gate asks "can the machine still go this fast", and
+// the minimum is the least noisy answer.
+func parse(f *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if old, ok := out[m[1]]; !ok || ns < old {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// lookup resolves a baseline name against the measured results: an exact
+// match first, then any measured name that equals it once its trailing
+// -GOMAXPROCS decoration is stripped. The suffix can't be stripped
+// unconditionally — sub-benchmark names legitimately end in digits
+// ("limit-10", "shards-4"), and on a GOMAXPROCS=1 machine (which emits
+// bare names) a blind strip would eat the real name.
+func lookup(measured map[string]float64, name string) (float64, bool) {
+	if ns, ok := measured[name]; ok {
+		return ns, true
+	}
+	for raw, ns := range measured {
+		if procSuffix.ReplaceAllString(raw, "") == name {
+			return ns, true
+		}
+	}
+	return 0, false
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks listed", path)
+	}
+	return &base, nil
+}
+
+func writeBaseline(path string, measured map[string]float64, tolerance float64) error {
+	base := Baseline{Tolerance: tolerance, Benchmarks: make(map[string]Entry, len(measured))}
+	// A refresh keeps the existing file's ratio gates (they are hand-written
+	// claims, not measurements) and, unless overridden, its tolerance;
+	// a fresh file gets the documented 40%.
+	if old, err := readBaseline(path); err == nil {
+		base.Ratios = old.Ratios
+		if base.Tolerance == 0 {
+			base.Tolerance = old.Tolerance
+		}
+	}
+	if base.Tolerance == 0 {
+		base.Tolerance = 0.40
+	}
+	// Record bare names: `go test` decorates each with -GOMAXPROCS when
+	// it differs from 1, and this process shares the machine with the
+	// test run, so the decoration to strip is exactly known — no
+	// guessing against sub-benchmark names that end in digits.
+	proc := fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
+	for name, ns := range measured {
+		name = strings.TrimSuffix(name, proc)
+		if old, ok := base.Benchmarks[name]; !ok || ns < old.NsPerOp {
+			base.Benchmarks[name] = Entry{NsPerOp: ns}
+		}
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,140 @@
+// Command dsearchd is the desktop-search daemon: it loads (or builds) a
+// catalog once, keeps it memory-resident, and serves concurrent queries
+// over HTTP — the resident query broker in front of the partitioned index.
+//
+// Usage:
+//
+//	dsearchd -root DIR [-shards N] [-formats] [flags]
+//	dsearchd -index PATH [-root DIR] [flags]
+//
+// -root builds the index at startup; -index loads a saved one (a single
+// index file or a sharded directory as written by indexgen). With both,
+// the saved index is loaded and then kept in step with DIR: -watch polls
+// it on an interval, and POST /reload updates on demand — both run the
+// incremental delta pipeline and atomically invalidate the query cache,
+// so no request is ever answered from a stale generation.
+//
+// Endpoints:
+//
+//	GET  /search?q=QUERY&limit=N&offset=N&rank=count|tf&prefix=P&timeout=D
+//	GET  /stats
+//	GET  /healthz
+//	POST /reload            (add ?mode=full to rebuild from scratch)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"desksearch"
+	"desksearch/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7700", "listen address")
+		indexPath    = flag.String("index", "", "load a saved index from this file or sharded directory")
+		root         = flag.String("root", "", "directory to index at startup (and to watch for changes)")
+		shards       = flag.Int("shards", 0, "with -root, partition the index into N document shards")
+		formats      = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
+		watch        = flag.Duration("watch", 0, "poll -root for changes on this interval (0 = off)")
+		cacheEntries = flag.Int("cache-entries", 1024, "query cache entry bound (negative disables the cache)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "query cache byte budget")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request query timeout ceiling")
+		maxLimit     = flag.Int("max-limit", 1000, "cap on the per-request limit parameter")
+	)
+	flag.Parse()
+	if *indexPath == "" && *root == "" {
+		fmt.Fprintln(os.Stderr, "usage: dsearchd (-root DIR | -index PATH) [flags]")
+		os.Exit(2)
+	}
+	if *watch > 0 && *root == "" {
+		fmt.Fprintln(os.Stderr, "dsearchd: -watch needs -root to poll")
+		os.Exit(2)
+	}
+
+	opts := desksearch.Options{Formats: *formats, Shards: *shards}
+	var (
+		cat *desksearch.Catalog
+		err error
+	)
+	start := time.Now()
+	switch {
+	case *indexPath != "":
+		cat, err = loadIndex(*indexPath, opts)
+	default:
+		cat, err = desksearch.IndexDir(*root, opts)
+	}
+	if err != nil {
+		log.Fatalf("dsearchd: %v", err)
+	}
+	st := cat.Stats()
+	log.Printf("catalog ready in %s: %d files, %d terms, %d postings, %d partition(s)",
+		time.Since(start).Round(time.Millisecond), st.Files, st.Terms, st.Postings, cat.Indices())
+
+	cfg := server.Config{
+		Catalog:      cat,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		Timeout:      *timeout,
+		MaxLimit:     *maxLimit,
+		Logf:         log.Printf,
+	}
+	if *root != "" {
+		dir := *root
+		cfg.Update = func() (desksearch.UpdateStats, error) { return cat.UpdateDir(dir) }
+		cfg.Rebuild = func() (*desksearch.Catalog, error) { return desksearch.IndexDir(dir, opts) }
+	}
+	srv := server.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *watch > 0 {
+		log.Printf("watching %s every %s", *root, *watch)
+		go srv.Watch(ctx, *watch)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on http://%s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("dsearchd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dsearchd: shutdown: %v", err)
+	}
+}
+
+// loadIndex reads a catalog from path: a sharded index directory when path
+// is a directory, a single index file otherwise. The build options ride
+// along so incremental updates re-extract consistently.
+func loadIndex(path string, opts desksearch.Options) (*desksearch.Catalog, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return desksearch.LoadDir(path, opts)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return desksearch.Load(f, opts)
+}

@@ -185,6 +185,39 @@ type Query struct {
 	PathPrefix string
 }
 
+// Normalize parses the query (when Expr is unset) and returns a copy with
+// Expr populated plus the canonical cache key identifying the request:
+// the parsed expression rendered in canonical form — so "cat  dog",
+// "cat AND dog", and "(cat) dog" collapse to one key — joined with the
+// retrieval controls that change the response. Two requests with equal
+// keys evaluated at the same catalog generation produce identical
+// responses, which is what makes the key safe to cache on; invalid
+// requests (unparseable text, negative limit or offset, unknown ranking)
+// are rejected here, before they can occupy a cache slot.
+func (q Query) Normalize() (Query, string, error) {
+	if q.Limit < 0 {
+		return q, "", fmt.Errorf("desksearch: negative limit %d", q.Limit)
+	}
+	if q.Offset < 0 {
+		return q, "", fmt.Errorf("desksearch: negative offset %d", q.Offset)
+	}
+	switch q.Ranking {
+	case RankCount, RankTF:
+	default:
+		return q, "", fmt.Errorf("desksearch: unknown ranking mode %d", int(q.Ranking))
+	}
+	if q.Expr == nil {
+		expr, err := ParseQuery(q.Text)
+		if err != nil {
+			return q, "", err
+		}
+		q.Expr = expr
+	}
+	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%d\x00prefix=%s",
+		q.Expr.String(), q.Limit, q.Offset, int(q.Ranking), q.PathPrefix)
+	return q, key, nil
+}
+
 // Hit is one search hit of the v2 Query API.
 type Hit struct {
 	// Path is the matched file, relative to the indexed root.
@@ -368,20 +401,49 @@ func (c *Catalog) Stats() Stats {
 // shard count for partitioned catalogs).
 func (c *Catalog) Indices() int { return c.engine.Indices() }
 
+// Generation returns the catalog's mutation generation: a counter that
+// advances every time an update commits (Apply, Update, UpdateDir) or the
+// contents are replaced (Swap). Queries observing the same generation ran
+// against the same index state, so (generation, normalized query) is a
+// safe result-cache key — a cache entry tagged with an older generation
+// can never masquerade as current.
+func (c *Catalog) Generation() uint64 { return c.engine.Generation() }
+
+// Swap atomically replaces c's contents with other's — the full-reload
+// counterpart of the incremental Update, used by long-running servers to
+// rebuild a catalog in the background and cut queries over in one step.
+// In-flight queries finish against the old contents; queries arriving
+// after Swap returns see only the new ones, at a new generation. other
+// must not be used afterwards: c owns its contents.
+func (c *Catalog) Swap(other *Catalog) {
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	res := other.result
+	c.engine.Swap(res.Files, res.Indexes(), func() {
+		c.result = res
+	})
+}
+
 // Shards reports how many document shards the catalog holds; 0 for
 // unsharded catalogs.
 func (c *Catalog) Shards() int {
-	if c.result.Shards == nil {
-		return 0
-	}
-	return c.result.Shards.Len()
+	var n int
+	c.engine.View(func() {
+		if c.result.Shards != nil {
+			n = c.result.Shards.Len()
+		}
+	})
+	return n
 }
 
 // Timings returns the pipeline phase durations of the build, in seconds:
 // filename generation, extraction+update, join, shard-set construction,
 // and total.
 func (c *Catalog) Timings() (filenameGen, extractUpdate, join, shard, total float64) {
-	t := c.result.Timings
+	var t core.Timings
+	c.engine.View(func() {
+		t = c.result.Timings
+	})
 	return t.FilenameGen.Seconds(), t.ExtractUpdate.Seconds(), t.Join.Seconds(),
 		t.Shard.Seconds(), t.Total.Seconds()
 }

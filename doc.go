@@ -48,6 +48,17 @@
 // Catalog.SaveDir persists the shards as a checksummed manifest plus one
 // segment file per shard, written and reloaded (LoadDir) in parallel.
 //
+// # Serving
+//
+// cmd/dsearchd serves a catalog over HTTP as a long-running daemon:
+// /search, /stats, /healthz, and /reload endpoints, per-request timeouts
+// through context cancellation, a bounded LRU result cache keyed on the
+// normalized query and the catalog Generation (so reloads atomically
+// invalidate stale results), single-flight de-duplication of identical
+// concurrent queries, and a -watch mode that polls the indexed root
+// through the incremental delta pipeline. Catalog.Swap supports full
+// rebuilds cut over atomically under load.
+//
 // The experiment harness that regenerates the paper's Tables 1–4 on
 // simulated 4-, 8-, and 32-core machines lives in cmd/experiments; see
 // DESIGN.md for the system inventory and EXPERIMENTS.md for

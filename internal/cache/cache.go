@@ -1,0 +1,266 @@
+// Package cache implements the query-result cache of the search daemon: a
+// bounded LRU keyed on (generation, normalized query) with single-flight
+// de-duplication of identical in-flight lookups.
+//
+// The generation is the catalog's mutation counter. Every entry is tagged
+// with the generation it was computed at, and Get only answers when the
+// caller's generation matches the entry's — so the moment a reload commits
+// (and the generation advances), every older entry silently becomes a
+// miss. A query that was already executing when the reload landed may
+// still store its result, but it stores it under the pre-reload
+// generation, where no post-reload request will ever find it. Prune
+// reclaims the space those orphaned entries hold.
+//
+// The cache is bounded twice: by entry count and by an approximate byte
+// budget supplied per entry by the caller (the daemon estimates the JSON
+// footprint of a response). Either bound evicts from the cold end of the
+// LRU list.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache with in-flight de-duplication. The
+// zero value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache[V any] struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	bytes   int64
+	ll      *list.List // front = most recent; elements hold *entry[V]
+	items   map[string]*list.Element
+	flights map[string]*flight[V]
+
+	hits, misses, coalesced, evictions uint64
+}
+
+// entry is one cached value, tagged with the generation it was computed at.
+type entry[V any] struct {
+	key  string
+	gen  uint64
+	val  V
+	size int64
+}
+
+// flight is one in-progress computation that concurrent callers of Do with
+// the same (generation, key) wait on instead of recomputing.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a cache bounded to at most maxEntries entries and maxBytes
+// total of caller-reported value sizes. A zero (or negative) bound means
+// unbounded in that dimension; New(0, 0) caches without limits.
+func New[V any](maxEntries int, maxBytes int64) *Cache[V] {
+	return &Cache[V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight[V]),
+	}
+}
+
+// Get returns the value cached under key at the given generation. An entry
+// stored at any other generation is a miss — stale results are never
+// returned, no matter how recently they were stored.
+func (c *Cache[V]) Get(gen uint64, key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.getLocked(gen, key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *Cache[V]) getLocked(gen uint64, key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry[V])
+		if ent.gen == gen {
+			c.ll.MoveToFront(el)
+			return ent.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for (gen, key), computing it with fn on a miss. If
+// another Do for the same (gen, key) is already running, the call waits
+// for that flight and shares its result instead of re-running fn — the
+// single-flight collapse that keeps a thundering herd of identical
+// queries from evaluating the index once per request.
+//
+// The computation runs in its own goroutine, decoupled from any one
+// caller: every caller — the one that started the flight included —
+// waits with its own ctx, so a canceled or short-deadline caller gives
+// up alone (receiving its ctx.Err()) while the flight runs on for the
+// others and still populates the cache. fn must therefore bound its own
+// work; a caller-scoped context inside fn would resurrect the coupling
+// this design removes. A panic in fn is recovered into an error, the
+// flight is torn down, and waiters all receive the error — a poisoned
+// key never wedges.
+//
+// fn returns the value, its approximate size in bytes (charged against
+// the byte budget), and an error. Errors are not cached: the flight's
+// waiters all receive the error, and the next Do retries. The returned
+// bool reports whether the caller was spared the computation — a cache
+// hit or a shared flight.
+func (c *Cache[V]) Do(ctx context.Context, gen uint64, key string, fn func() (V, int64, error)) (V, bool, error) {
+	c.mu.Lock()
+	if v, ok := c.getLocked(gen, key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	c.misses++
+	fk := flightKey(gen, key)
+	f, shared := c.flights[fk]
+	if shared {
+		c.coalesced++
+	} else {
+		f = &flight[V]{done: make(chan struct{})}
+		c.flights[fk] = f
+		go c.run(gen, key, fk, f, fn)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, shared, ctx.Err()
+	}
+}
+
+// run executes one flight: compute, store on success, tear down, wake the
+// waiters. It owns the flight's lifecycle so that no caller's fate —
+// cancellation, disconnect, panic propagation — can leave the flight
+// registered but never finished.
+func (c *Cache[V]) run(gen uint64, key, fk string, f *flight[V], fn func() (V, int64, error)) {
+	var size int64
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("cache: computation panicked: %v", r)
+			}
+		}()
+		f.val, size, f.err = fn()
+	}()
+	c.mu.Lock()
+	delete(c.flights, fk)
+	if f.err == nil {
+		c.putLocked(gen, key, f.val, size)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// Put stores val under (gen, key), replacing any entry for key from any
+// generation, then evicts from the cold end until the bounds hold again.
+func (c *Cache[V]) Put(gen uint64, key string, val V, size int64) {
+	c.mu.Lock()
+	c.putLocked(gen, key, val, size)
+	c.mu.Unlock()
+}
+
+func (c *Cache[V]) putLocked(gen uint64, key string, val V, size int64) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry[V])
+		c.bytes += size - ent.size
+		ent.gen, ent.val, ent.size = gen, val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry[V]{key: key, gen: gen, val: val, size: size})
+		c.bytes += size
+	}
+	for c.overLocked() {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		c.removeLocked(el)
+		c.evictions++
+	}
+}
+
+func (c *Cache[V]) overLocked() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	ent := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.size
+}
+
+// Prune drops every entry whose generation differs from gen, reclaiming
+// the space entries orphaned by a reload still hold. (They were already
+// unreachable: Get refuses generation mismatches.)
+func (c *Cache[V]) Prune(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*entry[V]).gen != gen {
+			c.removeLocked(el)
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Entries and Bytes are the current footprint.
+	Entries int
+	Bytes   int64
+	// Hits and Misses count Get/Do lookups; Coalesced counts Do calls
+	// that shared another caller's in-flight computation (a miss in the
+	// store, but no work done). Evictions counts entries dropped to honor
+	// the bounds (pruned stale entries are not evictions).
+	Hits, Misses, Coalesced, Evictions uint64
+}
+
+// Stats returns current counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}
+
+// flightKey scopes an in-flight computation to its generation, so a query
+// racing a reload never adopts a result computed against the other side of
+// the swap.
+func flightKey(gen uint64, key string) string {
+	// The generation renders as length-prefixed bytes distinct from any
+	// key content collision: a simple prefix is enough because keys never
+	// contain the separator at this position ambiguously.
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(gen >> (8 * i))
+	}
+	return string(b[:]) + key
+}

@@ -1,0 +1,335 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[string](0, 0)
+	if _, ok := c.Get(1, "k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(1, "k", "v", 1)
+	if v, ok := c.Get(1, "k"); !ok || v != "v" {
+		t.Fatalf("Get = %q, %v; want v, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestGenerationMismatchIsMiss is the staleness guarantee: an entry stored
+// at generation g is invisible to any other generation, in both
+// directions.
+func TestGenerationMismatchIsMiss(t *testing.T) {
+	c := New[string](0, 0)
+	c.Put(1, "k", "old", 1)
+	if _, ok := c.Get(2, "k"); ok {
+		t.Fatal("post-reload Get served a pre-reload entry")
+	}
+	// The reverse race: a slow query stores under the old generation after
+	// the reload already advanced it.
+	c.Put(1, "slow", "stale", 1)
+	if _, ok := c.Get(2, "slow"); ok {
+		t.Fatal("entry stored under an old generation served as current")
+	}
+	if v, ok := c.Get(1, "slow"); !ok || v != "stale" {
+		t.Fatal("entry should still answer at its own generation")
+	}
+}
+
+func TestEntryBoundEvictsLRU(t *testing.T) {
+	c := New[int](2, 0)
+	c.Put(1, "a", 1, 1)
+	c.Put(1, "b", 2, 1)
+	if _, ok := c.Get(1, "a"); !ok { // touch a, making b the cold end
+		t.Fatal("a missing before eviction")
+	}
+	c.Put(1, "c", 3, 1)
+	if _, ok := c.Get(1, "b"); ok {
+		t.Fatal("LRU eviction dropped the wrong entry")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(1, k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestByteBudgetEvicts(t *testing.T) {
+	c := New[int](0, 100)
+	c.Put(1, "a", 1, 60)
+	c.Put(1, "b", 2, 60) // over budget: a (cold) must go
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 60 {
+		t.Fatalf("stats = %+v, want 1 entry / 60 bytes", st)
+	}
+	if _, ok := c.Get(1, "b"); !ok {
+		t.Fatal("newest entry evicted instead of the cold one")
+	}
+	// An entry bigger than the whole budget may not wedge the cache.
+	c.Put(1, "huge", 3, 500)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entry left residue: %+v", st)
+	}
+	c.Put(1, "after", 4, 10)
+	if _, ok := c.Get(1, "after"); !ok {
+		t.Fatal("cache unusable after oversized entry")
+	}
+}
+
+func TestPutReplacesAcrossGenerations(t *testing.T) {
+	c := New[string](0, 100)
+	c.Put(1, "k", "old", 40)
+	c.Put(2, "k", "new", 10)
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("replacement leaked bytes: %+v", st)
+	}
+	if v, ok := c.Get(2, "k"); !ok || v != "new" {
+		t.Fatalf("Get = %q, %v after replacement", v, ok)
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := New[int](0, 0)
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, cached, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) {
+			calls++
+			return 42, 8, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+		if cached != (i > 0) {
+			t.Errorf("call %d: cached = %v", i, cached)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](0, 0)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) { return 0, 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	v, cached, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) { return 7, 1, nil })
+	if err != nil || v != 7 || cached {
+		t.Fatalf("retry after error: %d, %v, %v", v, cached, err)
+	}
+}
+
+// TestDoSingleFlight hammers one key from many goroutines while the leader
+// blocks, then asserts exactly one execution and that every follower got
+// the leader's value.
+func TestDoSingleFlight(t *testing.T) {
+	c := New[int](0, 0)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	leaderDone := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, _ := c.Do(context.Background(), 5, "k", func() (int, int64, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 99, 4, nil
+		})
+		leaderDone <- v
+	}()
+	<-started
+
+	const followers = 16
+	results := make(chan int, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, cached, err := c.Do(context.Background(), 5, "k", func() (int, int64, error) {
+				calls.Add(1)
+				return -1, 0, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !cached {
+				t.Error("follower reported uncached")
+			}
+			results <- v
+		}()
+	}
+	// Followers may still be en route to the flight map; give them no
+	// synchronization help — Do must be correct regardless — but do the
+	// release only after they are all launched.
+	close(release)
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 99 {
+			t.Fatalf("follower got %d, want 99", v)
+		}
+	}
+	if <-leaderDone != 99 {
+		t.Fatal("leader value wrong")
+	}
+	if n := calls.Load(); n != 1 {
+		// Followers that arrived after the leader finished legitimately
+		// hit the cache; ones racing the flight may never double-execute.
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+}
+
+// TestDoDifferentGenerationsDoNotShareFlights pins the reload race: a
+// flight started at generation g must not hand its result to a caller at
+// g+1.
+func TestDoDifferentGenerationsDoNotShareFlights(t *testing.T) {
+	c := New[string](0, 0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), 1, "k", func() (string, int64, error) {
+			close(started)
+			<-release
+			return "old", 3, nil
+		})
+	}()
+	<-started
+	done := make(chan string)
+	go func() {
+		v, cached, err := c.Do(context.Background(), 2, "k", func() (string, int64, error) { return "new", 3, nil })
+		if err != nil || cached {
+			t.Errorf("gen-2 Do: %v cached=%v", err, cached)
+		}
+		done <- v
+	}()
+	if v := <-done; v != "new" {
+		t.Fatalf("generation 2 received %q from a generation-1 flight", v)
+	}
+	close(release)
+}
+
+// TestDoWaiterCancellationLeavesFlightRunning pins the decoupling: a
+// caller that gives up (cancel, disconnect, short deadline) receives its
+// own ctx.Err() immediately, while the flight runs to completion, caches
+// its result, and serves the other waiters.
+func TestDoWaiterCancellationLeavesFlightRunning(t *testing.T) {
+	c := New[int](0, 0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	patient := make(chan int, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) {
+			close(started)
+			<-release
+			return 7, 1, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		patient <- v
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, 1, "k", func() (int, int64, error) { return -1, 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if v := <-patient; v != 7 {
+		t.Fatalf("patient waiter got %d", v)
+	}
+	// The abandoned flight must still have populated the cache.
+	if v, ok := c.Get(1, "k"); !ok || v != 7 {
+		t.Fatalf("flight result not cached after a waiter bailed: %d, %v", v, ok)
+	}
+}
+
+// TestDoPanicDoesNotWedgeKey: a panicking computation must surface as an
+// error to every waiter and leave the key retryable — not a permanently
+// registered dead flight that hangs all future identical queries.
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New[int](0, 0)
+	_, _, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) {
+		panic("corrupted index")
+	})
+	if err == nil || !strings.Contains(err.Error(), "corrupted index") {
+		t.Fatalf("err = %v, want the recovered panic", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.Do(context.Background(), 1, "k", func() (int, int64, error) { return 3, 1, nil })
+		if err != nil || v != 3 {
+			t.Errorf("retry after panic: %d, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged after a panicking flight")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	c := New[int](0, 0)
+	c.Put(1, "a", 1, 10)
+	c.Put(1, "b", 2, 10)
+	c.Put(2, "c", 3, 10)
+	c.Prune(2)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("after prune: %+v", st)
+	}
+	if _, ok := c.Get(2, "c"); !ok {
+		t.Fatal("current-generation entry pruned")
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New[int](64, 1<<16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				gen := uint64(i % 3)
+				key := fmt.Sprintf("k%d", (i+w)%97)
+				switch i % 4 {
+				case 0:
+					c.Get(gen, key)
+				case 1:
+					c.Put(gen, key, i, int64(i%50))
+				case 2:
+					c.Do(context.Background(), gen, key, func() (int, int64, error) { return i, 8, nil })
+				default:
+					c.Prune(gen)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Stats() // must not race or panic
+}

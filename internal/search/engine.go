@@ -52,6 +52,10 @@ type Engine struct {
 	// responsible for (the complement base for NOT); nil means not yet
 	// computed or invalidated by an update.
 	universes []*postings.List
+	// gen counts committed mutations: every Maintain, Invalidate, or Swap
+	// increments it, so a cache keyed on (generation, query) can never
+	// serve a result computed before an update as if it were current.
+	gen uint64
 }
 
 // NewEngine returns an engine over the given indices. For a joined or
@@ -62,7 +66,11 @@ func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
 }
 
 // Indices returns the number of indices the engine consults.
-func (e *Engine) Indices() int { return len(e.indices) }
+func (e *Engine) Indices() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.indices)
+}
 
 // Maintain runs f — an index or file-table mutation — with every query
 // excluded, then invalidates the cached universes. It is the write side of
@@ -74,6 +82,37 @@ func (e *Engine) Maintain(f func()) {
 	defer e.mu.Unlock()
 	f()
 	e.universes = nil
+	e.gen++
+}
+
+// Generation returns the engine's mutation generation: a counter that
+// advances every time an update commits (Maintain), the caches are dropped
+// (Invalidate), or the partition set is replaced (Swap). Two queries that
+// observe the same generation ran against the same index state, which is
+// what makes the generation a safe component of a result-cache key.
+func (e *Engine) Generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Swap atomically replaces the engine's file table and partition set with a
+// freshly built one — the full-reload counterpart of Maintain's in-place
+// mutation. In-flight queries finish against the old partitions; queries
+// arriving after Swap returns see only the new ones, at a new generation.
+// then, when non-nil, runs inside the same exclusive section, so a caller
+// can swap its own bookkeeping (result metadata, shard sets) in the same
+// atomic step a query can never observe half-done.
+func (e *Engine) Swap(files *index.FileTable, indices []*index.Index, then func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.files = files
+	e.indices = indices
+	e.universes = nil
+	e.gen++
+	if then != nil {
+		then()
+	}
 }
 
 // View runs f with updates excluded but queries admitted — the read-side
@@ -92,6 +131,7 @@ func (e *Engine) View(f func()) {
 func (e *Engine) Invalidate() {
 	e.mu.Lock()
 	e.universes = nil
+	e.gen++
 	e.mu.Unlock()
 }
 

@@ -157,3 +157,42 @@ func TestConcurrentSearchAndUpdate(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestSwapReplacesPartitions covers the engine's full-reload hook: after
+// Swap, queries answer only from the new partitions, the NOT universes
+// are rebuilt, and the generation has advanced (so result caches keyed on
+// it drop the old state).
+func TestSwapReplacesPartitions(t *testing.T) {
+	files, ix := maintFixture()
+	e := NewEngine(files, ix)
+	e.SearchString("-alpha") // prime the universe cache
+	g0 := e.Generation()
+
+	freshFiles := index.NewFileTable()
+	fresh := index.New(4)
+	id := freshFiles.Add("new.txt", 1, 1)
+	fresh.AddBlock(id, []string{"omega"}, nil)
+
+	var swappedInside bool
+	e.Swap(freshFiles, []*index.Index{fresh}, func() { swappedInside = true })
+	if !swappedInside {
+		t.Fatal("then-callback not run")
+	}
+	if e.Generation() == g0 {
+		t.Error("Swap did not advance the generation")
+	}
+	if e.Indices() != 1 {
+		t.Errorf("Indices = %d after swap", e.Indices())
+	}
+	if hits, _ := e.SearchString("alpha"); len(hits) != 0 {
+		t.Errorf("old partition still answering: %v", hits)
+	}
+	hits, _ := e.SearchString("omega")
+	if len(hits) != 1 || hits[0].Path != "new.txt" {
+		t.Errorf("new partition not answering: %v", hits)
+	}
+	// The universe must have been rebuilt for the new file table.
+	if hits, _ := e.SearchString("-omega"); len(hits) != 0 {
+		t.Errorf("stale universe after swap: %v", hits)
+	}
+}

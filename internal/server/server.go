@@ -1,0 +1,541 @@
+// Package server implements dsearchd's HTTP layer: a resident query broker
+// over a desksearch.Catalog, in the spirit of the parallel web search
+// engines of the related work — the catalog is loaded once and stays
+// memory-resident across requests, queries fan out over its partitions,
+// and a bounded LRU cache with single-flight de-duplication absorbs
+// repeated and concurrent identical queries.
+//
+// Endpoints:
+//
+//	GET  /search?q=...   evaluate a query (limit, offset, rank, prefix,
+//	                     timeout parameters), JSON response
+//	GET  /stats          catalog, server, and cache counters
+//	GET  /healthz        liveness probe
+//	POST /reload         run an incremental update (or a full rebuild
+//	                     with ?mode=full) and invalidate the cache
+//
+// Results are cached keyed on (catalog generation, normalized query).
+// Reloads commit through the catalog's maintenance path, which advances
+// the generation — so the instant a reload completes, every cached result
+// from before it stops being served, even ones stored by queries that
+// were still in flight while the reload committed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"desksearch"
+	"desksearch/internal/cache"
+)
+
+// Config wires a Server to its catalog and reload sources.
+type Config struct {
+	// Catalog answers the queries. Required.
+	Catalog *desksearch.Catalog
+	// Update runs an incremental reload (typically Catalog.UpdateDir
+	// against the watched root) and reports what changed. nil disables
+	// /reload and Watch.
+	Update func() (desksearch.UpdateStats, error)
+	// Rebuild builds a replacement catalog from scratch; /reload?mode=full
+	// swaps it in atomically. nil disables full reloads.
+	Rebuild func() (*desksearch.Catalog, error)
+	// CacheEntries and CacheBytes bound the query-result cache; zero
+	// values fall back to 1024 entries and 64 MiB. A negative
+	// CacheEntries disables caching entirely.
+	CacheEntries int
+	CacheBytes   int64
+	// Timeout bounds each request's query evaluation; zero falls back to
+	// 10 s. A request's own timeout parameter may shorten but never
+	// exceed it.
+	Timeout time.Duration
+	// MaxLimit caps the per-request limit parameter (and replaces an
+	// unbounded limit=0) so one request cannot materialize the entire
+	// catalog; zero falls back to 1000.
+	MaxLimit int
+	// Logf, when non-nil, receives one line per reload and per watch
+	// error.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon's HTTP state. Create with New; serve via Handler.
+type Server struct {
+	cat     *desksearch.Catalog
+	update  func() (desksearch.UpdateStats, error)
+	rebuild func() (*desksearch.Catalog, error)
+	cache   *cache.Cache[*desksearch.Response]
+	timeout time.Duration
+	maxLim  int
+	logf    func(string, ...any)
+	start   time.Time
+
+	// reloadMu serializes /reload and Watch ticks, so overlapping reloads
+	// cannot interleave their prune steps.
+	reloadMu sync.Mutex
+
+	// statsMu guards the per-generation memo of Catalog.Stats: the exact
+	// distinct-term count walks every partition's term table, far too
+	// expensive to recompute for every monitoring poll, and between
+	// reloads it cannot change.
+	statsMu   sync.Mutex
+	statsGen  uint64
+	statsOK   bool
+	statsSnap desksearch.Stats
+
+	queries, queryErrors, reloads atomic.Uint64
+}
+
+// New returns a server over cfg. It panics when cfg.Catalog is nil — the
+// daemon cannot exist without one.
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		panic("server: Config.Catalog is required")
+	}
+	entries, bytes := cfg.CacheEntries, cfg.CacheBytes
+	if entries == 0 {
+		entries = 1024
+	}
+	if bytes == 0 {
+		bytes = 64 << 20
+	}
+	var c *cache.Cache[*desksearch.Response]
+	if entries > 0 {
+		c = cache.New[*desksearch.Response](entries, bytes)
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	maxLim := cfg.MaxLimit
+	if maxLim == 0 {
+		maxLim = 1000
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		cat:     cfg.Catalog,
+		update:  cfg.Update,
+		rebuild: cfg.Rebuild,
+		cache:   c,
+		timeout: timeout,
+		maxLim:  maxLim,
+		logf:    logf,
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	return mux
+}
+
+// SearchResponse is the JSON shape of /search.
+type SearchResponse struct {
+	// Query is the canonical form of the evaluated expression.
+	Query string `json:"query"`
+	// Generation identifies the catalog state that produced the result.
+	Generation uint64 `json:"generation"`
+	// Cached reports whether the result came from the cache or a shared
+	// in-flight evaluation — in either case no partition was evaluated
+	// for this request.
+	Cached bool `json:"cached"`
+	// TookMS is the server-side handling time in milliseconds.
+	TookMS float64 `json:"took_ms"`
+	// Total counts matches across the whole catalog.
+	Total int `json:"total"`
+	// Hits is the requested page.
+	Hits []SearchHit `json:"hits"`
+	// Partitions reports per-partition match counts and evaluation times.
+	// For a cached response these are the timings of the original
+	// evaluation, not of this request.
+	Partitions []PartitionStat `json:"partitions"`
+}
+
+// SearchHit is one hit of /search.
+type SearchHit struct {
+	Path  string   `json:"path"`
+	Score int      `json:"score"`
+	Terms []string `json:"terms,omitempty"`
+}
+
+// PartitionStat is one partition's share of a query's work.
+type PartitionStat struct {
+	Partition  int     `json:"partition"`
+	Matched    int     `json:"matched"`
+	DurationUS float64 `json:"duration_us"`
+}
+
+// StatsResponse is the JSON shape of /stats.
+type StatsResponse struct {
+	Files      int     `json:"files"`
+	Terms      int     `json:"terms"`
+	Postings   int64   `json:"postings"`
+	Skipped    int     `json:"skipped"`
+	Indices    int     `json:"indices"`
+	Shards     int     `json:"shards"`
+	Generation uint64  `json:"generation"`
+	UptimeS    float64 `json:"uptime_s"`
+
+	Queries     uint64 `json:"queries"`
+	QueryErrors uint64 `json:"query_errors"`
+	Reloads     uint64 `json:"reloads"`
+
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats is the cache block of /stats.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ReloadResponse is the JSON shape of /reload.
+type ReloadResponse struct {
+	Mode       string  `json:"mode"`
+	Generation uint64  `json:"generation"`
+	TookMS     float64 `json:"took_ms"`
+
+	// Incremental reload counters (zero for mode=full).
+	Added           int   `json:"added"`
+	Modified        int   `json:"modified"`
+	Deleted         int   `json:"deleted"`
+	PostingsRemoved int64 `json:"postings_removed"`
+	PostingsAdded   int64 `json:"postings_added"`
+	SkippedFiles    int   `json:"skipped_files"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, status, err := s.parseSearch(r)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	req, key, err := req.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.timeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout %q", t)
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The generation is read before evaluation: if a reload commits while
+	// this query runs, the result is stored under the pre-reload
+	// generation and post-reload requests can never see it.
+	gen := s.cat.Generation()
+	s.queries.Add(1)
+	resp, cached, err := s.cachedQuery(ctx, gen, key, req)
+	if err != nil {
+		s.queryErrors.Add(1)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "query timed out after %s", timeout)
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "query canceled")
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	out := SearchResponse{
+		Query:      req.Expr.String(),
+		Generation: gen,
+		Cached:     cached,
+		TookMS:     float64(time.Since(start).Microseconds()) / 1e3,
+		Total:      resp.Total,
+		Hits:       make([]SearchHit, len(resp.Hits)),
+		Partitions: make([]PartitionStat, len(resp.Partitions)),
+	}
+	for i, h := range resp.Hits {
+		out.Hits[i] = SearchHit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+	}
+	for i, p := range resp.Partitions {
+		out.Partitions[i] = PartitionStat{
+			Partition:  p.Partition,
+			Matched:    p.Matched,
+			DurationUS: float64(p.Duration.Nanoseconds()) / 1e3,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// cachedQuery evaluates req through the cache (when enabled), de-duplicated
+// against identical in-flight queries at the same generation. The caller's
+// ctx governs only its own wait: the shared evaluation runs under a
+// server-owned context bounded by the server's timeout ceiling, so one
+// impatient or disconnected client can neither fail the flight for every
+// coalesced request behind it nor hold a follower past its own deadline.
+func (s *Server) cachedQuery(ctx context.Context, gen uint64, key string, req desksearch.Query) (*desksearch.Response, bool, error) {
+	if s.cache == nil {
+		resp, err := s.cat.Query(ctx, req)
+		return resp, false, err
+	}
+	return s.cache.Do(ctx, gen, key, func() (*desksearch.Response, int64, error) {
+		evalCtx, cancel := context.WithTimeout(context.Background(), s.timeout)
+		defer cancel()
+		resp, err := s.cat.Query(evalCtx, req)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, responseSize(resp), nil
+	})
+}
+
+// parseSearch maps query parameters onto a desksearch.Query.
+func (s *Server) parseSearch(r *http.Request) (desksearch.Query, int, error) {
+	var req desksearch.Query
+	params := r.URL.Query()
+	req.Text = params.Get("q")
+	if req.Text == "" {
+		return req, http.StatusBadRequest, fmt.Errorf("missing q parameter")
+	}
+	req.Limit = 10
+	if v := params.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return req, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v)
+		}
+		req.Limit = n
+	}
+	if req.Limit == 0 || req.Limit > s.maxLim {
+		req.Limit = s.maxLim
+	}
+	if v := params.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return req, http.StatusBadRequest, fmt.Errorf("invalid offset %q", v)
+		}
+		req.Offset = n
+	}
+	switch v := params.Get("rank"); v {
+	case "", "count":
+		req.Ranking = desksearch.RankCount
+	case "tf":
+		req.Ranking = desksearch.RankTF
+	default:
+		return req, http.StatusBadRequest, fmt.Errorf("unknown rank %q (want count or tf)", v)
+	}
+	req.PathPrefix = params.Get("prefix")
+	return req, 0, nil
+}
+
+// catalogStats returns Catalog.Stats memoized per generation. A snapshot
+// computed while a reload races the memo may be stored under the older
+// generation; the next poll at the new generation simply recomputes.
+func (s *Server) catalogStats() (desksearch.Stats, uint64) {
+	gen := s.cat.Generation()
+	s.statsMu.Lock()
+	if s.statsOK && s.statsGen == gen {
+		snap := s.statsSnap
+		s.statsMu.Unlock()
+		return snap, gen
+	}
+	s.statsMu.Unlock()
+	snap := s.cat.Stats()
+	s.statsMu.Lock()
+	s.statsGen, s.statsSnap, s.statsOK = gen, snap, true
+	s.statsMu.Unlock()
+	return snap, gen
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs, gen := s.catalogStats()
+	out := StatsResponse{
+		Files:       cs.Files,
+		Terms:       cs.Terms,
+		Postings:    cs.Postings,
+		Skipped:     cs.Skipped,
+		Indices:     s.cat.Indices(),
+		Shards:      s.cat.Shards(),
+		Generation:  gen,
+		UptimeS:     time.Since(s.start).Seconds(),
+		Queries:     s.queries.Load(),
+		QueryErrors: s.queryErrors.Load(),
+		Reloads:     s.reloads.Load(),
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		out.Cache = &CacheStats{
+			Entries:   st.Entries,
+			Bytes:     st.Bytes,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Coalesced: st.Coalesced,
+			Evictions: st.Evictions,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": s.cat.Generation(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	switch mode {
+	case "", "update":
+		if s.update == nil {
+			writeError(w, http.StatusNotImplemented, "reload disabled: no update source configured")
+			return
+		}
+		start := time.Now()
+		st, err := s.Reload()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "reload: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ReloadResponse{
+			Mode:            "update",
+			Generation:      s.cat.Generation(),
+			TookMS:          float64(time.Since(start).Microseconds()) / 1e3,
+			Added:           st.Added,
+			Modified:        st.Modified,
+			Deleted:         st.Deleted,
+			PostingsRemoved: st.PostingsRemoved,
+			PostingsAdded:   st.PostingsAdded,
+			SkippedFiles:    st.SkippedFiles,
+		})
+	case "full":
+		if s.rebuild == nil {
+			writeError(w, http.StatusNotImplemented, "full reload disabled: no rebuild source configured")
+			return
+		}
+		start := time.Now()
+		if err := s.fullReload(); err != nil {
+			writeError(w, http.StatusInternalServerError, "rebuild: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ReloadResponse{
+			Mode:       "full",
+			Generation: s.cat.Generation(),
+			TookMS:     float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown reload mode %q (want update or full)", mode)
+	}
+}
+
+// Reload runs the incremental update source and, when anything changed,
+// prunes cache entries orphaned by the generation bump. Safe to call
+// directly (the watch loop does); concurrent reloads serialize.
+func (s *Server) Reload() (desksearch.UpdateStats, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	st, err := s.update()
+	if err != nil {
+		return st, err
+	}
+	s.reloads.Add(1)
+	if s.cache != nil {
+		// An empty changeset does not advance the generation, so pruning
+		// to the current generation is a no-op then and a cleanup after
+		// real changes.
+		s.cache.Prune(s.cat.Generation())
+	}
+	if st.Added+st.Modified+st.Deleted > 0 {
+		s.logf("reload: +%d ~%d -%d files (generation %d)",
+			st.Added, st.Modified, st.Deleted, s.cat.Generation())
+	}
+	return st, nil
+}
+
+// fullReload rebuilds the catalog from scratch and swaps it in atomically.
+func (s *Server) fullReload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fresh, err := s.rebuild()
+	if err != nil {
+		return err
+	}
+	s.cat.Swap(fresh)
+	s.reloads.Add(1)
+	if s.cache != nil {
+		s.cache.Prune(s.cat.Generation())
+	}
+	s.logf("full reload complete (generation %d)", s.cat.Generation())
+	return nil
+}
+
+// Watch polls the update source every interval until ctx is done — the
+// daemon's -watch mode. Each tick runs the same reload path as /reload,
+// so changes picked up by polling invalidate the cache identically.
+func (s *Server) Watch(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := s.Reload(); err != nil {
+				s.logf("watch: reload failed: %v", err)
+			}
+		}
+	}
+}
+
+// responseSize approximates a response's JSON footprint for the cache's
+// byte budget: string payloads plus a fixed per-hit and per-partition
+// overhead for the numeric fields and framing.
+func responseSize(r *desksearch.Response) int64 {
+	size := int64(64)
+	for _, h := range r.Hits {
+		size += int64(len(h.Path)) + 32
+		for _, t := range h.Terms {
+			size += int64(len(t)) + 4
+		}
+	}
+	size += int64(len(r.Partitions)) * 48
+	return size
+}

@@ -341,3 +341,201 @@ func TestStatsExactTerms(t *testing.T) {
 		t.Errorf("sharded Terms = %d, sequential = %d", got, want)
 	}
 }
+
+// TestSearchQueryDefaultsAgree is the ISSUE's regression pin: the
+// deprecated Search(q) must be exactly Query(ctx, Query{Text: q}) — same
+// hits, same scores, same order — across partition shapes, and the two
+// must agree on degenerate input: an empty query errors identically
+// through both entry points instead of one defaulting and one failing.
+func TestSearchQueryDefaultsAgree(t *testing.T) {
+	fs := syntheticFS(t, 120)
+	for _, shards := range []int{0, 4} {
+		cat := shardedCatalog(t, fs, shards)
+		for _, q := range []string{
+			"alpha",
+			"alpha beta",
+			"alpha OR beta",
+			"gamma -delta",
+			"(alpha OR beta) -epsilon",
+			"nosuchterm",
+		} {
+			v1, err := cat.Search(q)
+			if err != nil {
+				t.Fatalf("Search(%q): %v", q, err)
+			}
+			v2, err := cat.Query(context.Background(), Query{Text: q})
+			if err != nil {
+				t.Fatalf("Query(%q): %v", q, err)
+			}
+			if len(v1) != len(v2.Hits) || len(v1) != v2.Total {
+				t.Fatalf("shards=%d %q: Search %d hits, Query %d hits / total %d",
+					shards, q, len(v1), len(v2.Hits), v2.Total)
+			}
+			for i := range v1 {
+				if v1[i].Path != v2.Hits[i].Path || v1[i].Score != v2.Hits[i].Score {
+					t.Fatalf("shards=%d %q hit %d: Search %+v vs Query %+v",
+						shards, q, i, v1[i], v2.Hits[i])
+				}
+			}
+		}
+
+		// The degenerate inputs: empty text and the zero Query must fail
+		// the same way through both APIs, not silently diverge.
+		_, errSearch := cat.Search("")
+		_, errQuery := cat.Query(context.Background(), Query{})
+		if errSearch == nil || errQuery == nil {
+			t.Fatalf("shards=%d: empty query accepted (Search err %v, Query err %v)",
+				shards, errSearch, errQuery)
+		}
+		if errSearch.Error() != errQuery.Error() {
+			t.Errorf("shards=%d: empty-query errors diverge: Search %q vs Query %q",
+				shards, errSearch, errQuery)
+		}
+	}
+}
+
+// TestQueryNormalize covers the daemon's cache key: equivalent spellings
+// collapse to one key, different retrieval controls do not, and invalid
+// requests are rejected before they can occupy a cache slot.
+func TestQueryNormalize(t *testing.T) {
+	base, key, err := Query{Text: "cat dog"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Expr == nil {
+		t.Fatal("Normalize did not populate Expr")
+	}
+	for _, same := range []string{"cat AND dog", "  cat   dog ", "(cat dog)", "Cat Dog!"} {
+		_, k, err := (Query{Text: same}).Normalize()
+		if err != nil {
+			t.Fatalf("%q: %v", same, err)
+		}
+		if k != key {
+			t.Errorf("%q normalized to %q, want %q", same, k, key)
+		}
+	}
+	for name, other := range map[string]Query{
+		"different query": {Text: "cat OR dog"},
+		"limit":           {Text: "cat dog", Limit: 10},
+		"offset":          {Text: "cat dog", Offset: 5},
+		"ranking":         {Text: "cat dog", Ranking: RankTF},
+		"prefix":          {Text: "cat dog", PathPrefix: "docs/"},
+	} {
+		_, k, err := other.Normalize()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == key {
+			t.Errorf("%s: key collided with the base request", name)
+		}
+	}
+	// A pre-parsed Expr takes precedence over Text, exactly as in Query.
+	expr, err := ParseQuery("dog cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k, err := (Query{Text: "ignored", Expr: expr}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == key {
+		t.Error("Expr-based key ignored the expression")
+	}
+	for name, bad := range map[string]Query{
+		"empty":          {},
+		"unbalanced":     {Text: "(cat"},
+		"negative limit": {Text: "cat", Limit: -1},
+		"bad offset":     {Text: "cat", Offset: -2},
+		"bad ranking":    {Text: "cat", Ranking: Ranking(9)},
+	} {
+		if _, _, err := bad.Normalize(); err == nil {
+			t.Errorf("%s request normalized without error", name)
+		}
+	}
+}
+
+// TestGenerationAdvancesOnCommit pins the cache-key contract: building a
+// catalog starts a generation, every committed change advances it, and a
+// no-op update leaves it alone (so caches stay warm across empty polls).
+func TestGenerationAdvancesOnCommit(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := cat.Generation()
+	if _, err := cat.Update(fs, "."); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Generation() != g0 {
+		t.Fatal("no-op update advanced the generation")
+	}
+	if err := fs.WriteFile("fresh.txt", []byte("omega")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Update(fs, "."); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Generation() == g0 {
+		t.Fatal("committed update did not advance the generation")
+	}
+}
+
+// TestCatalogSwap: a full rebuild swapped in atomically answers with the
+// new contents at a new generation, while queries racing the swap stay
+// race-free (run with -race).
+func TestCatalogSwap(t *testing.T) {
+	fs := demoFS(t)
+	cat, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := cat.Generation()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cat.Query(context.Background(), Query{Text: "milk OR omega"}); err != nil {
+					t.Error(err)
+					return
+				}
+				cat.Stats()
+				cat.Shards()
+			}
+		}()
+	}
+
+	if err := fs.WriteFile("swapped.txt", []byte("omega omega")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := IndexFS(fs, ".", Options{Implementation: Sequential, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Swap(fresh)
+	close(stop)
+	wg.Wait()
+
+	if cat.Generation() == g0 {
+		t.Error("swap did not advance the generation")
+	}
+	if got := cat.Shards(); got != 4 {
+		t.Errorf("swapped catalog reports %d shards, want 4", got)
+	}
+	resp, err := cat.Query(context.Background(), Query{Text: "omega"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 1 {
+		t.Errorf("post-swap query: total %d, want 1", resp.Total)
+	}
+}
