@@ -15,7 +15,7 @@ GOVULNCHECK_VERSION ?= latest
 BENCH_GATE = ^(BenchmarkTopKQuery|BenchmarkShardedBuild)$$
 BENCH_GATE_FLAGS = -run '^$$' -bench '$(BENCH_GATE)' -benchtime=10x -count=3
 
-.PHONY: build test vet fmt lint vuln bench bench-check bench-baseline ci
+.PHONY: build test vet fmt lint vuln bench bench-check bench-baseline docs-check ci
 
 build:
 	$(GO) build ./...
@@ -82,4 +82,9 @@ bench-check:
 bench-baseline:
 	$(GO) test $(BENCH_GATE_FLAGS) . | $(GO) run ./cmd/benchcheck -baseline bench_baseline.json -update
 
-ci: build vet fmt lint vuln test bench bench-check
+# The doc-drift gate: the DSIX version constants in internal/index/codec.go
+# must match the version history documented in docs/FORMAT.md.
+docs-check:
+	$(GO) run ./cmd/docscheck
+
+ci: build vet fmt lint vuln docs-check test bench bench-check

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -699,6 +700,99 @@ func BenchmarkTopKQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- positional / phrase benchmarks ----
+
+var (
+	phraseOnce sync.Once
+	phraseCat  *Catalog
+	phraseText string
+)
+
+// phraseCatalog builds a positional 4-shard catalog once and picks a real
+// bigram out of the corpus so the phrase walk does non-trivial work.
+func phraseCatalog(b *testing.B) (*Catalog, string) {
+	b.Helper()
+	phraseOnce.Do(func() {
+		fs := vfs.NewMemFS()
+		if _, err := corpus.Generate(corpus.PaperSpec().Scale(1.0/64), fs); err != nil {
+			panic(err)
+		}
+		cat, err := IndexFS(fs, ".", Options{
+			Implementation: ReplicatedSearch, Extractors: 4, Updaters: 4,
+			Shards: 4, Positions: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		refs, err := walk.List(fs, ".")
+		if err != nil {
+			panic(err)
+		}
+		data, err := fs.ReadFile(refs[len(refs)/2].Path)
+		if err != nil {
+			panic(err)
+		}
+		toks := tokenize.Terms(data, tokenize.Default)
+		mid := len(toks) / 2
+		phraseCat = cat
+		phraseText = fmt.Sprintf("%q", toks[mid]+" "+toks[mid+1])
+	})
+	return phraseCat, phraseText
+}
+
+// BenchmarkPhraseQuery measures quoted-phrase evaluation — candidate
+// intersection plus the positional adjacency walk — against the same
+// catalog's plain conjunction of the phrase words (the work a phrase
+// query does on top of AND is the positional part).
+func BenchmarkPhraseQuery(b *testing.B) {
+	cat, phrase := phraseCatalog(b)
+	ctx := context.Background()
+	and := strings.Trim(phrase, `"`)
+	warm, err := cat.Query(ctx, Query{Text: phrase, Limit: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("phrase", func(b *testing.B) {
+		req := Query{Text: phrase, Limit: 10}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(warm.Total), "hits/query")
+	})
+	b.Run("and-of-words", func(b *testing.B) {
+		req := Query{Text: and, Limit: 10}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPositionalBuild measures what recording positions costs the
+// batch pipeline: the same corpus and thread tuple, positions off vs on.
+func BenchmarkPositionalBuild(b *testing.B) {
+	fs := liveCorpus(b)
+	for _, positional := range []bool{false, true} {
+		name := "positions-off"
+		if positional {
+			name = "positions-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := IndexFS(fs, ".", Options{
+					Implementation: ReplicatedSearch, Extractors: 4, Updaters: 4,
+					Positions: positional,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---- facade benchmark ----

@@ -1,0 +1,125 @@
+// Command docscheck is the CI doc-drift gate for the DSIX format spec:
+// it verifies that the codec version constants declared in
+// internal/index/codec.go agree with the version history documented in
+// docs/FORMAT.md, so the spec cannot silently rot as the codec evolves.
+//
+// Checks:
+//
+//  1. every version constant in the codec (codecVersion, SegmentVersion,
+//     ManifestVersion, PositionalVersion, ...) has a matching
+//     "### vN — ..." section in the spec;
+//  2. the spec documents the full, gapless history v1..vMax, where vMax
+//     is the codec's highest version — retired versions must stay
+//     documented (readers still name them in errors) and the spec must
+//     not describe versions the codec does not know;
+//  3. the spec names the frame magic ("DSIX").
+//
+// Usage (normally via `make docs-check`):
+//
+//	docscheck [-codec internal/index/codec.go] [-spec docs/FORMAT.md]
+//
+// Exits non-zero with one line per finding when the two drift apart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// constRe matches the codec's version constant declarations, e.g.
+// "codecVersion = 6" or "SegmentVersion = 7", inside the const block.
+var constRe = regexp.MustCompile(`(?m)^\t([A-Za-z]*[Vv]ersion)\s*=\s*(\d+)\b`)
+
+// headingRe matches the spec's version-history section headings:
+// "### v6 — full index with term frequencies".
+var headingRe = regexp.MustCompile(`(?m)^### v(\d+)\b`)
+
+func main() {
+	codecPath := flag.String("codec", "internal/index/codec.go", "codec source file declaring the version constants")
+	specPath := flag.String("spec", "docs/FORMAT.md", "format specification to check against")
+	flag.Parse()
+
+	codec, err := os.ReadFile(*codecPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	consts := map[string]int{}
+	for _, m := range constRe.FindAllStringSubmatch(string(codec), -1) {
+		v, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		consts[m[1]] = v
+	}
+	if len(consts) == 0 {
+		fatal(fmt.Errorf("no version constants found in %s (pattern %q)", *codecPath, constRe))
+	}
+
+	documented := map[int]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(string(spec), -1) {
+		v, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		documented[v] = true
+	}
+
+	var problems []string
+	maxVersion := 0
+	for name, v := range consts {
+		if v > maxVersion {
+			maxVersion = v
+		}
+		if !documented[v] {
+			problems = append(problems,
+				fmt.Sprintf("%s: %s = %d has no '### v%d' section in %s", *codecPath, name, v, v, *specPath))
+		}
+	}
+	for v := 1; v <= maxVersion; v++ {
+		if !documented[v] {
+			problems = append(problems,
+				fmt.Sprintf("%s: version history is missing '### v%d' (history must be gapless up to v%d)", *specPath, v, maxVersion))
+		}
+	}
+	for v := range documented {
+		if v > maxVersion {
+			problems = append(problems,
+				fmt.Sprintf("%s: documents v%d, but the codec's highest version is %d", *specPath, v, maxVersion))
+		}
+	}
+	if !strings.Contains(string(spec), `"DSIX"`) {
+		problems = append(problems,
+			fmt.Sprintf("%s: does not name the frame magic %q", *specPath, "DSIX"))
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s) — internal/index/codec.go and docs/FORMAT.md have drifted apart\n", len(problems))
+		os.Exit(1)
+	}
+	versions := make([]string, 0, len(consts))
+	for name, v := range consts {
+		versions = append(versions, fmt.Sprintf("%s=%d", name, v))
+	}
+	sort.Strings(versions)
+	fmt.Printf("docscheck: ok — %s documented through v%d in %s\n",
+		strings.Join(versions, " "), maxVersion, *specPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "docscheck:", err)
+	os.Exit(1)
+}

@@ -10,8 +10,16 @@
 // (a manifest plus segments, as written by indexgen -shards); -shards
 // partitions an on-the-fly index for parallel fan-out search.
 //
-// Queries are boolean: terms AND together, OR/NOT (or a leading '-')
-// and parentheses work as expected: "quarterly report -draft".
+// Queries are boolean: terms AND together, OR/NOT (or a leading '-'),
+// parentheses, and quoted phrases work as expected:
+//
+//	dsearch -index idx 'quarterly report -draft'
+//	dsearch -root docs -positions '"annual report" -draft'
+//
+// Quoted phrases match consecutive words only and need an index built
+// with -positions (indexgen -positions, or dsearch -root -positions);
+// against a position-free index they fail with a clear error. The shell
+// usually requires wrapping a phrase query in single quotes.
 //
 // Retrieval runs through the v2 Query API: -n and -offset page through the
 // ranked results with bounded top-k retrieval per partition, -rank picks
@@ -36,6 +44,7 @@ func main() {
 		root      = flag.String("root", "", "index this directory before searching")
 		shards    = flag.Int("shards", 0, "with -root, partition the index into N document shards")
 		formats   = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
+		pos       = flag.Bool("positions", false, "with -root, record token positions so quoted phrase queries work")
 		limit     = flag.Int("n", 20, "maximum results to return (0 = all)")
 		offset    = flag.Int("offset", 0, "skip this many ranked results (pagination)")
 		rank      = flag.String("rank", "count", "ranking mode: count (distinct matched terms) or tf (term frequency)")
@@ -69,7 +78,7 @@ func main() {
 	case *indexPath != "":
 		cat, err = loadIndex(*indexPath)
 	default:
-		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats, Shards: *shards})
+		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats, Shards: *shards, Positions: *pos})
 	}
 	if err != nil {
 		fatal(err)

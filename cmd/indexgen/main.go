@@ -4,8 +4,13 @@
 // Usage:
 //
 //	indexgen -root DIR [-impl seq|shared|join|nojoin] [-x N -y N -z N]
-//	         [-shards N] [-formats] [-save PATH] [-stages]
+//	         [-shards N] [-formats] [-positions] [-save PATH] [-stages]
 //	indexgen -root DIR -update -save DIR [-formats] [-x N]
+//
+// With -positions every term occurrence's token position is recorded,
+// enabling quoted phrase queries ('"annual report"') at the cost of a
+// larger index; positional catalogs persist as DSIX v8 (docs/FORMAT.md)
+// and -update re-extracts positionally without restating the flag.
 //
 // With -shards N the index is partitioned into N document shards and
 // -save PATH writes the sharded layout (a checksummed manifest plus one
@@ -46,6 +51,7 @@ func main() {
 		z       = flag.Int("z", 0, "index-join threads (join only)")
 		shards  = flag.Int("shards", 0, "partition the index into N document shards (0 = off)")
 		formats = flag.Bool("formats", false, "strip HTML/WP markup before indexing")
+		pos     = flag.Bool("positions", false, "record token positions (enables quoted phrase queries; larger index, DSIX v8)")
 		save    = flag.String("save", "", "write the built index to this path (a directory with -shards)")
 		stages  = flag.Bool("stages", false, "measure isolated sequential stage times (paper Table 1) and exit")
 		update  = flag.Bool("update", false, "incrementally update the saved catalog under -save against -root instead of rebuilding")
@@ -61,15 +67,16 @@ func main() {
 			fatal(fmt.Errorf("-update needs -save DIR naming the saved catalog"))
 		}
 		// Build options are not persisted in the catalog, so the update
-		// must be told the original extraction flags to re-extract
-		// changed files the same way.
-		runUpdate(*root, *save, desksearch.Options{Formats: *formats, Extractors: *x})
+		// must be told the original extraction flags to re-extract changed
+		// files the same way. Positions are the exception: the DSIX frame
+		// version records them, so LoadDir re-enables them automatically.
+		runUpdate(*root, *save, desksearch.Options{Formats: *formats, Extractors: *x, Positions: *pos})
 		return
 	}
 
 	if *stages {
 		st, err := core.MeasureStages(vfs.NewOSFS(*root), ".", extract.Options{
-			Tokenize: tokenize.Default, Formats: *formats,
+			Tokenize: tokenize.Default, Formats: *formats, Positions: *pos,
 		})
 		if err != nil {
 			fatal(err)
@@ -92,6 +99,7 @@ func main() {
 		Joiners:        *z,
 		Shards:         *shards,
 		Formats:        *formats,
+		Positions:      *pos,
 	})
 	if err != nil {
 		fatal(err)

@@ -55,6 +55,12 @@ type Options struct {
 	// document shards, searched with parallel fan-out and saved with
 	// SaveDir as a manifest plus one segment file per shard.
 	Shards int
+	// Positions records each term occurrence's token position in the
+	// index, enabling quoted phrase queries ("annual report") at the cost
+	// of a larger index; positional catalogs persist in the DSIX v8 format
+	// (docs/FORMAT.md). Phrase queries against a catalog built without
+	// positions fail with a clear error instead of guessing adjacency.
+	Positions bool
 }
 
 // validate rejects option values that would misbehave downstream, with a
@@ -95,7 +101,7 @@ func (o Options) coreConfig() (core.Config, error) {
 	if len(o.Stopwords) > 0 {
 		tok.Stopwords = tokenize.NewStopSet(o.Stopwords)
 	}
-	cfg.Extract = extract.Options{Tokenize: tok, Formats: o.Formats}
+	cfg.Extract = extract.Options{Tokenize: tok, Formats: o.Formats, Positions: o.Positions}
 
 	switch o.Implementation {
 	case Auto:
@@ -150,7 +156,10 @@ const (
 type Expr struct{ q *search.Query }
 
 // ParseQuery parses a boolean query ("cat dog", "cat OR dog",
-// "report -draft", parentheses allowed) into a reusable expression.
+// "report -draft", parentheses allowed, quoted phrases like
+// `"annual report" -draft` — see the README's query-syntax reference) into
+// a reusable expression. Evaluating a multi-word phrase requires a catalog
+// built with Options.Positions.
 func ParseQuery(text string) (*Expr, error) {
 	q, err := search.Parse(text)
 	if err != nil {
@@ -213,8 +222,13 @@ func (q Query) Normalize() (Query, string, error) {
 		}
 		q.Expr = expr
 	}
-	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%d\x00prefix=%s",
-		q.Expr.String(), q.Limit, q.Offset, int(q.Ranking), q.PathPrefix)
+	// PathPrefix is the one free-form field (an HTTP ?prefix= parameter can
+	// carry any byte, the \x00 field separator included), so it is
+	// length-prefixed: the key stays injective in its fields no matter what
+	// the prefix contains, and no future field appended after it can be
+	// impersonated by a crafted prefix.
+	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%d\x00prefix=%d:%s",
+		q.Expr.String(), q.Limit, q.Offset, int(q.Ranking), len(q.PathPrefix), q.PathPrefix)
 	return q, key, nil
 }
 
@@ -510,6 +524,13 @@ func Load(r io.Reader, opt ...Options) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Positional-ness is persisted in the frame version (DSIX v8) and is
+	// authoritative in both directions: a loaded positional catalog keeps
+	// re-extracting positionally without the caller restating the option,
+	// and Options.Positions cannot turn a non-positional catalog
+	// positional — only re-extracted files would ever carry positions,
+	// leaving the index half-positional. Rebuild to change it.
+	cfg.Extract.Positions = ix.Positional()
 	return newCatalog(&core.Result{
 		Implementation: core.Sequential,
 		Config:         cfg,
@@ -568,6 +589,9 @@ func LoadDir(dir string, opt ...Options) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Like Load: the segments' frame version decides positional-ness in
+	// both directions (see Load), overriding Options.Positions.
+	cfg.Extract.Positions = set.Positional()
 	return newCatalog(&core.Result{
 		Implementation: core.ReplicatedSearch,
 		Config:         cfg,

@@ -37,6 +37,14 @@
 // deprecated Search remains as a compatibility wrapper returning every
 // hit, coordination-ranked.
 //
+// The query grammar supports implicit AND, OR, NOT (or a leading '-'),
+// parentheses, and quoted phrases: `"annual report" -draft` matches files
+// containing the words annual and report at consecutive positions and not
+// containing draft. Phrase queries need a catalog built with
+// Options.Positions (persisted as DSIX v8 — see docs/FORMAT.md); against
+// a position-free catalog they fail with a clear error. The README's
+// query-syntax reference documents the full grammar.
+//
 // # Sharded indexes
 //
 // Options.Shards partitions the catalog into document shards: every

@@ -15,6 +15,10 @@ type Counter struct {
 type counterEntry struct {
 	key   string
 	count uint32 // 0 = empty slot
+	// positions holds the occurrence positions recorded by AddAt, in
+	// arrival order (ascending, since extractors scan a file front to
+	// back). nil when the counter is used position-free via Add.
+	positions []uint32
 }
 
 // NewCounter returns a counter sized for about capacity distinct elements.
@@ -44,6 +48,25 @@ func (c *Counter) Add(key string) bool {
 	return true
 }
 
+// AddAt records one occurrence of key at token position pos and reports
+// whether the key was absent — Add's positional twin, used by extractors
+// building a positional index. All occurrences of one key must arrive in
+// ascending position order (a front-to-back scan guarantees it).
+func (c *Counter) AddAt(key string, pos uint32) bool {
+	if (c.n+1)*setMaxLoadDen > len(c.entries)*setMaxLoadNum {
+		c.grow()
+	}
+	i := c.probe(key)
+	if c.entries[i].count > 0 {
+		c.entries[i].count++
+		c.entries[i].positions = append(c.entries[i].positions, pos)
+		return false
+	}
+	c.entries[i] = counterEntry{key: key, count: 1, positions: append(make([]uint32, 0, 4), pos)}
+	c.n++
+	return true
+}
+
 // Count returns the number of occurrences recorded for key.
 func (c *Counter) Count(key string) uint32 {
 	return c.entries[c.probe(key)].count
@@ -65,6 +88,21 @@ func (c *Counter) Pairs(keys []string, counts []uint32) ([]string, []uint32) {
 		}
 	}
 	return keys, counts
+}
+
+// PairsPositions appends the distinct elements and their parallel position
+// lists (in unspecified element order; each position list ascending) and
+// returns both slices. Ownership of the position slices transfers to the
+// caller — the next Reset releases the counter's references, so the slices
+// stay valid while the counter is reused for the next file.
+func (c *Counter) PairsPositions(keys []string, positions [][]uint32) ([]string, [][]uint32) {
+	for i := range c.entries {
+		if c.entries[i].count > 0 {
+			keys = append(keys, c.entries[i].key)
+			positions = append(positions, c.entries[i].positions)
+		}
+	}
+	return keys, positions
 }
 
 // probe returns the index of key's entry, or of the empty slot where it

@@ -56,3 +56,51 @@ func TestCounterGrowAndReset(t *testing.T) {
 		t.Error("counter unusable after Reset")
 	}
 }
+
+// TestCounterAddAt: the positional twin of Add records each occurrence's
+// token position alongside the count, surviving growth and reset.
+func TestCounterAddAt(t *testing.T) {
+	c := NewCounter(2)
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	for pos, w := range words {
+		c.AddAt(w, uint32(pos))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	keys, positions := c.PairsPositions(nil, nil)
+	got := map[string][]uint32{}
+	for i, k := range keys {
+		got[k] = positions[i]
+	}
+	want := map[string][]uint32{"a": {0, 2, 4}, "b": {1, 5}, "c": {3}}
+	for k, w := range want {
+		if len(got[k]) != len(w) {
+			t.Fatalf("positions(%q) = %v, want %v", k, got[k], w)
+		}
+		for i := range w {
+			if got[k][i] != w[i] {
+				t.Fatalf("positions(%q) = %v, want %v", k, got[k], w)
+			}
+		}
+		if c.Count(k) != uint32(len(w)) {
+			t.Errorf("Count(%q) = %d, want %d", k, c.Count(k), len(w))
+		}
+	}
+	// Growth must carry positions along.
+	for i := 0; i < 500; i++ {
+		c.AddAt(fmt.Sprintf("grow%03d", i%100), uint32(100+i))
+	}
+	_, positions = c.PairsPositions(nil, nil)
+	if len(positions) != c.Len() {
+		t.Fatal("positions lost through growth")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	c.AddAt("a", 9)
+	if _, positions := c.PairsPositions(nil, nil); len(positions) != 1 || positions[0][0] != 9 {
+		t.Fatal("counter unusable after Reset")
+	}
+}

@@ -89,6 +89,15 @@ type job struct {
 	id  postings.FileID
 }
 
+// markPositional flags a freshly created index as positional when the run
+// extracts token positions, so even an index that ends up empty (or a shard
+// that receives no postings) persists — and later updates — positionally.
+func markPositional(cfg Config, ix *index.Index) {
+	if cfg.Extract.Positions {
+		ix.SetPositional()
+	}
+}
+
 // Run executes the configured pipeline over the files under root in fsys.
 func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -118,11 +127,13 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 	switch cfg.Implementation {
 	case Sequential:
 		ix := index.New(1 << 12)
+		markPositional(cfg, ix)
 		runDirect(fsys, cfg, jobs, directSink{ix: ix}, res)
 		res.Index = ix
 		res.Timings.ExtractUpdate = time.Since(start23)
 	case SharedIndex:
 		shared := index.NewShared(1 << 12)
+		markPositional(cfg, shared.Unwrap())
 		runPipeline(fsys, cfg, jobs, func(int) blockSink { return shared }, res)
 		res.Index = shared.Unwrap()
 		res.Timings.ExtractUpdate = time.Since(start23)
@@ -130,6 +141,7 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 		replicas := make([]*index.Index, cfg.Replicas())
 		for i := range replicas {
 			replicas[i] = index.New(1 << 10)
+			markPositional(cfg, replicas[i])
 		}
 		runPipeline(fsys, cfg, jobs, func(i int) blockSink { return directSink{ix: replicas[i]} }, res)
 		res.Timings.ExtractUpdate = time.Since(start23)
@@ -175,12 +187,27 @@ func Run(fsys vfs.FS, root string, cfg Config) (*Result, error) {
 // directSink wraps an unshared index for single-owner use.
 type blockSink interface {
 	AddBlock(id postings.FileID, terms []string, counts []uint32)
+	AddBlockPositional(id postings.FileID, terms []string, positions [][]uint32)
 }
 
 type directSink struct{ ix *index.Index }
 
 func (d directSink) AddBlock(id postings.FileID, terms []string, counts []uint32) {
 	d.ix.AddBlock(id, terms, counts)
+}
+
+func (d directSink) AddBlockPositional(id postings.FileID, terms []string, positions [][]uint32) {
+	d.ix.AddBlockPositional(id, terms, positions)
+}
+
+// feed routes a term block to the sink's positional or plain insertion
+// path, depending on what the extractor recorded.
+func feed(sink blockSink, block extract.TermBlock) {
+	if block.Positions != nil {
+		sink.AddBlockPositional(block.File, block.Terms, block.Positions)
+		return
+	}
+	sink.AddBlock(block.File, block.Terms, block.Counts)
 }
 
 // runDirect executes jobs on the calling goroutine (the sequential
@@ -193,7 +220,7 @@ func runDirect(fsys vfs.FS, cfg Config, jobs []job, sink blockSink, res *Result)
 			res.SkippedFiles = append(res.SkippedFiles, Skipped{Path: j.ref.Path, Err: err})
 			continue
 		}
-		sink.AddBlock(block.File, block.Terms, block.Counts)
+		feed(sink, block)
 	}
 }
 
@@ -268,7 +295,7 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 						skip(j.ref.Path, err)
 						continue
 					}
-					sink.AddBlock(block.File, block.Terms, block.Counts)
+					feed(sink, block)
 				}
 			}(w)
 		}
@@ -307,7 +334,7 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 			defer updaters.Done()
 			sink := sinkFor(replicaSlot(cfg, -1, u))
 			for block := range blocks {
-				sink.AddBlock(block.File, block.Terms, block.Counts)
+				feed(sink, block)
 			}
 		}(u)
 	}

@@ -69,7 +69,11 @@ func MeasureStages(fsys vfs.FS, root string, opts extract.Options) (StageTimes, 
 	ix := index.New(1 << 12)
 	start = time.Now()
 	for _, b := range blocks {
-		ix.AddBlock(b.File, b.Terms, b.Counts)
+		if b.Positions != nil {
+			ix.AddBlockPositional(b.File, b.Terms, b.Positions)
+		} else {
+			ix.AddBlock(b.File, b.Terms, b.Counts)
+		}
 	}
 	st.IndexUpdate = time.Since(start)
 

@@ -344,13 +344,20 @@ func (p *Plan) Commit(t Target) Stats {
 	return st
 }
 
-// commitBlock routes a fresh term block to id's owning partition.
+// commitBlock routes a fresh term block to id's owning partition, through
+// the positional insertion path when the block was extracted with
+// positions (a positional catalog re-extracts positionally, so updates
+// keep phrase queries answerable).
 func commitBlock(t Target, id postings.FileID, block extract.TermBlock, st *Stats) {
 	if len(block.Terms) == 0 {
 		return
 	}
 	owner := shard.ShardFor(id, len(t.Partitions))
-	t.Partitions[owner].AddBlock(id, block.Terms, block.Counts)
+	if block.Positions != nil {
+		t.Partitions[owner].AddBlockPositional(id, block.Terms, block.Positions)
+	} else {
+		t.Partitions[owner].AddBlock(id, block.Terms, block.Counts)
+	}
 	st.PostingsAdded += int64(len(block.Terms))
 	if t.OnDirty != nil {
 		t.OnDirty(owner)

@@ -27,8 +27,14 @@ type TermBlock struct {
 	File  postings.FileID
 	Terms []string
 	// Counts[i] is the number of occurrences of Terms[i]; nil means every
-	// term occurred exactly once.
+	// term occurred exactly once. Counts is nil whenever Positions is set —
+	// the occurrence count is then len(Positions[i]).
 	Counts []uint32
+	// Positions[i] lists the ascending token positions (emission ordinals
+	// of the tokenizer, counting only emitted terms) at which Terms[i]
+	// occurs in the file. nil unless the extractor runs with
+	// Options.Positions — the payload phrase search needs.
+	Positions [][]uint32
 }
 
 // Options configure an Extractor.
@@ -39,6 +45,14 @@ type Options struct {
 	// tokenization. The paper's corpus was pre-extracted plain text, so the
 	// pipeline default is off; cmd/indexgen enables it for real desktops.
 	Formats bool
+	// Positions records each term occurrence's token position (the ordinal
+	// among the file's emitted terms) in TermBlock.Positions, growing the
+	// per-block payload so the index can answer quoted phrase queries.
+	// Positions are ordinals among *emitted* terms: terms dropped by
+	// stopword or length filters do not advance the counter, so a phrase
+	// matches across a dropped word — the usual contract of
+	// stopword-stripped positional indexes.
+	Positions bool
 }
 
 // Extractor turns files into TermBlocks. Each extractor goroutine owns one
@@ -66,6 +80,15 @@ func (e *Extractor) File(path string, id postings.FileID) (TermBlock, error) {
 		data = docfmt.Extract(path, data)
 	}
 	e.seen.Reset()
+	if e.opts.Positions {
+		pos := uint32(0)
+		tokenize.Scan(data, e.opts.Tokenize, func(term string) {
+			e.seen.AddAt(term, pos)
+			pos++
+		})
+		terms, positions := e.seen.PairsPositions(make([]string, 0, e.seen.Len()), make([][]uint32, 0, e.seen.Len()))
+		return TermBlock{File: id, Terms: terms, Positions: positions}, nil
+	}
 	tokenize.Scan(data, e.opts.Tokenize, func(term string) {
 		e.seen.Add(term)
 	})

@@ -207,3 +207,60 @@ func TestFileCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestFilePositions: with Options.Positions the extractor records each
+// term's occurrence positions as emission ordinals; counts stay implicit
+// (len of the position run).
+func TestFilePositions(t *testing.T) {
+	fs := testFS(t)
+	e := New(fs, Options{Tokenize: tokenize.Default, Positions: true})
+	block, err := e.File("plain.txt", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Counts != nil {
+		t.Error("positional block also carries counts")
+	}
+	if len(block.Positions) != len(block.Terms) {
+		t.Fatalf("positions %d != terms %d", len(block.Positions), len(block.Terms))
+	}
+	// "the cat and the dog and the cat" → ordinals 0..7.
+	want := map[string][]uint32{"the": {0, 3, 6}, "cat": {1, 7}, "and": {2, 5}, "dog": {4}}
+	for i, term := range block.Terms {
+		w := want[term]
+		if len(block.Positions[i]) != len(w) {
+			t.Fatalf("positions(%q) = %v, want %v", term, block.Positions[i], w)
+		}
+		for k := range w {
+			if block.Positions[i][k] != w[k] {
+				t.Fatalf("positions(%q) = %v, want %v", term, block.Positions[i], w)
+			}
+		}
+	}
+}
+
+// TestFilePositionsSkipDropped: dropped terms (stopwords) do not advance
+// the position counter, so phrases still match across them.
+func TestFilePositionsSkipDropped(t *testing.T) {
+	fs := testFS(t)
+	tok := tokenize.Default
+	tok.Stopwords = tokenize.NewStopSet([]string{"the", "and"})
+	e := New(fs, Options{Tokenize: tok, Positions: true})
+	block, err := e.File("plain.txt", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the cat and the dog and the cat" minus stopwords → cat dog cat.
+	want := map[string][]uint32{"cat": {0, 2}, "dog": {1}}
+	if len(block.Terms) != len(want) {
+		t.Fatalf("terms = %v", block.Terms)
+	}
+	for i, term := range block.Terms {
+		w := want[term]
+		for k := range w {
+			if block.Positions[i][k] != w[k] {
+				t.Fatalf("positions(%q) = %v, want %v", term, block.Positions[i], w)
+			}
+		}
+	}
+}

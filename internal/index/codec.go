@@ -12,7 +12,14 @@ import (
 	"desksearch/internal/postings"
 )
 
-// The DSIX on-disk family. All forms share the frame
+// The DSIX on-disk family. The authoritative format specification —
+// including the full v1–v8 version history, the varint delta coding of IDs
+// and positions, the frequency- and positions-section markers, and the
+// corruption-detection guarantees — lives in docs/FORMAT.md; keep the two
+// in sync (CI's docs-check gate compares the version constants below
+// against the spec).
+//
+// All forms share the frame
 //
 //	magic "DSIX" | u16 version | payload | u64 FNV-1 checksum of everything above
 //
@@ -24,6 +31,11 @@ import (
 //	version 5 (shard manifest): file table | segment directory, written and
 //	                            read by internal/shard over this package's
 //	                            exported frame helpers
+//	version 8 (positional):     u8 kind | same payload as version 6 (kind 0,
+//	                            full index) or version 7 (kind 1, shard
+//	                            segment), with every posting list in the
+//	                            positional encoding (positions section after
+//	                            the frequency section)
 //
 // where the file table is
 //
@@ -40,7 +52,9 @@ import (
 // tombstones; versions 4 and 2 were their successors whose posting lists
 // carried no term frequencies. Each bump retires the older form rather than
 // guessing at the missing state (the manifest carries no posting lists, so
-// version 5 survives the frequency bump unchanged).
+// version 5 survives the frequency bump unchanged). Version 8 is opt-in
+// rather than a retirement: a build without Options.Positions still writes
+// versions 6/7, byte-identical to the pre-positions codec.
 //
 // A desktop search tool persists its index between sessions; this codec is
 // that persistence layer for cmd/indexgen and cmd/dsearch.
@@ -53,8 +67,19 @@ const (
 	SegmentVersion = 7
 	// ManifestVersion is the shard manifest form (internal/shard).
 	ManifestVersion = 5
+	// PositionalVersion is the positional form: a kind byte (full index or
+	// shard segment) followed by the corresponding v6/v7 payload with
+	// posting lists in the positional encoding.
+	PositionalVersion = 8
 	// maxCount bounds file/term/posting counts against corrupt headers.
 	maxCount = 1 << 31
+)
+
+// Positional-frame kind bytes: the first payload byte of a
+// PositionalVersion frame says which v6/v7 shape follows.
+const (
+	kindFullIndex = 0
+	kindSegment   = 1
 )
 
 // versionKind names each known version for error messages.
@@ -66,6 +91,8 @@ func versionKind(v uint16) string {
 		return "a shard segment"
 	case ManifestVersion:
 		return "a shard manifest"
+	case PositionalVersion:
+		return "a positional index"
 	default:
 		return "unsupported"
 	}
@@ -106,31 +133,43 @@ func finishPayload(w io.Writer, bw *bufio.Writer, h hash.Hash64) error {
 // returns a reader positioned at the payload body plus the full payload
 // slice (posting lists decode zero-copy from it).
 func DecodeFrame(data []byte, wantVersion uint16) (*bytes.Reader, []byte, error) {
+	br, payload, _, err := DecodeFrameAny(data, wantVersion)
+	return br, payload, err
+}
+
+// DecodeFrameAny is DecodeFrame accepting any of several versions — the
+// hook readers use when a payload shape exists in both a legacy and a
+// positional form (v6/v8 full indexes, v7/v8 segments). It returns the
+// frame's actual version alongside the payload reader.
+func DecodeFrameAny(data []byte, wantVersions ...uint16) (*bytes.Reader, []byte, uint16, error) {
 	if len(data) < len(codecMagic)+2+8 {
-		return nil, nil, fmt.Errorf("index: truncated (%d bytes)", len(data))
+		return nil, nil, 0, fmt.Errorf("index: truncated (%d bytes)", len(data))
 	}
 	payload, trailer := data[:len(data)-8], data[len(data)-8:]
 	want := binary.LittleEndian.Uint64(trailer)
 	if got := fnv.Hash64Bytes(payload); got != want {
-		return nil, nil, fmt.Errorf("index: checksum mismatch: file %#x, computed %#x", want, got)
+		return nil, nil, 0, fmt.Errorf("index: checksum mismatch: file %#x, computed %#x", want, got)
 	}
 	br := bytes.NewReader(payload)
 	magic := make([]byte, len(codecMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, nil, fmt.Errorf("index: reading magic: %w", err)
+		return nil, nil, 0, fmt.Errorf("index: reading magic: %w", err)
 	}
 	if string(magic) != codecMagic {
-		return nil, nil, fmt.Errorf("index: bad magic %q", magic)
+		return nil, nil, 0, fmt.Errorf("index: bad magic %q", magic)
 	}
 	verBuf := make([]byte, 2)
 	if _, err := io.ReadFull(br, verBuf); err != nil {
-		return nil, nil, fmt.Errorf("index: reading version: %w", err)
+		return nil, nil, 0, fmt.Errorf("index: reading version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(verBuf); v != wantVersion {
-		return nil, nil, fmt.Errorf("index: version %d is %s, want %s",
-			v, versionKind(v), versionKind(wantVersion))
+	v := binary.LittleEndian.Uint16(verBuf)
+	for _, w := range wantVersions {
+		if v == w {
+			return br, payload, v, nil
+		}
 	}
-	return br, payload, nil
+	return nil, nil, 0, fmt.Errorf("index: version %d is %s, want %s",
+		v, versionKind(v), versionKind(wantVersions[0]))
 }
 
 // WriteUvarint writes v in varint form.
@@ -233,8 +272,9 @@ func ReadFileTable(br *bytes.Reader) (*FileTable, error) {
 	return files, nil
 }
 
-// writeTermSection writes the term→postings payload section.
-func writeTermSection(bw *bufio.Writer, ix *Index) error {
+// writeTermSection writes the term→postings payload section. positional
+// selects the positional posting-list encoding (v8 frames only).
+func writeTermSection(bw *bufio.Writer, ix *Index, positional bool) error {
 	if err := WriteUvarint(bw, uint64(ix.NumTerms())); err != nil {
 		return err
 	}
@@ -244,7 +284,11 @@ func writeTermSection(bw *bufio.Writer, ix *Index) error {
 		if saveErr = WriteString(bw, term); saveErr != nil {
 			return false
 		}
-		buf = l.Encode(buf[:0])
+		if positional {
+			buf = l.EncodePositional(buf[:0])
+		} else {
+			buf = l.Encode(buf[:0])
+		}
 		if _, saveErr = bw.Write(buf); saveErr != nil {
 			return false
 		}
@@ -255,7 +299,8 @@ func writeTermSection(bw *bufio.Writer, ix *Index) error {
 
 // readTermSection reads the term→postings payload section. payload is the
 // backing slice br reads from; posting lists decode zero-copy from it.
-func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
+// positional selects the positional posting-list decoding (v8 frames).
+func readTermSection(br *bytes.Reader, payload []byte, positional bool) (*Index, error) {
 	termCount, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("index: reading term count: %w", err)
@@ -264,6 +309,7 @@ func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
 		return nil, fmt.Errorf("index: absurd term count %d", termCount)
 	}
 	ix := New(int(termCount))
+	ix.positional = positional
 	for i := uint64(0); i < termCount; i++ {
 		term, err := ReadString(br)
 		if err != nil {
@@ -271,7 +317,15 @@ func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
 		}
 		// Decode the posting list directly from the remaining payload.
 		rest := payload[len(payload)-br.Len():]
-		l, n, err := postings.Decode(rest)
+		var (
+			l *postings.List
+			n int
+		)
+		if positional {
+			l, n, err = postings.DecodePositional(rest)
+		} else {
+			l, n, err = postings.Decode(rest)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("index: term %q: %w", term, err)
 		}
@@ -287,33 +341,67 @@ func readTermSection(br *bytes.Reader, payload []byte) (*Index, error) {
 	return ix, nil
 }
 
-// Save writes the index and its file table to w (the DSIX full-index form).
+// readKind consumes and validates the kind byte of a positional (v8) frame.
+func readKind(br *bytes.Reader, want byte) error {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("index: reading frame kind: %w", err)
+	}
+	if kind != want {
+		return fmt.Errorf("index: positional frame kind %d, want %d", kind, want)
+	}
+	return nil
+}
+
+// Save writes the index and its file table to w: the DSIX full-index form,
+// version 6 — or version 8 with the positional posting-list encoding when
+// the index carries token positions. Non-positional indexes produce output
+// byte-identical to the pre-positions codec.
 func Save(w io.Writer, ix *Index, files *FileTable) error {
+	if ix.Positional() {
+		return EncodeFrame(w, PositionalVersion, func(bw *bufio.Writer) error {
+			if err := bw.WriteByte(kindFullIndex); err != nil {
+				return err
+			}
+			if err := WriteFileTable(bw, files); err != nil {
+				return err
+			}
+			return writeTermSection(bw, ix, true)
+		})
+	}
 	return EncodeFrame(w, codecVersion, func(bw *bufio.Writer) error {
 		if err := WriteFileTable(bw, files); err != nil {
 			return err
 		}
-		return writeTermSection(bw, ix)
+		return writeTermSection(bw, ix, false)
 	})
 }
 
-// Load reads an index written by Save. It reads the whole stream into
-// memory first so the checksum can be verified over the exact payload
-// before any of it is trusted.
+// Load reads an index written by Save — either the v6 or the positional v8
+// full-index form; the loaded index remembers which (Positional), so a
+// catalog loaded from a positional file keeps updating positionally. It
+// reads the whole stream into memory first so the checksum can be verified
+// over the exact payload before any of it is trusted.
 func Load(r io.Reader) (*Index, *FileTable, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("index: reading: %w", err)
 	}
-	br, payload, err := DecodeFrame(data, codecVersion)
+	br, payload, version, err := DecodeFrameAny(data, codecVersion, PositionalVersion)
 	if err != nil {
 		return nil, nil, err
+	}
+	positional := version == PositionalVersion
+	if positional {
+		if err := readKind(br, kindFullIndex); err != nil {
+			return nil, nil, err
+		}
 	}
 	files, err := ReadFileTable(br)
 	if err != nil {
 		return nil, nil, err
 	}
-	ix, err := readTermSection(br, payload)
+	ix, err := readTermSection(br, payload, positional)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -120,6 +120,11 @@ type Index struct {
 	terms *container.HashMap[*postings.List]
 	// nPostings counts (term, file) pairs for Stats.
 	nPostings int64
+	// positional records that this index was built (or loaded) with
+	// per-posting token positions. It decides which DSIX frame version the
+	// codec writes (v8 vs v6/v7 — see docs/FORMAT.md) and whether
+	// incremental updates re-extract changed files positionally.
+	positional bool
 }
 
 // New returns an empty index sized for about capacity terms.
@@ -143,6 +148,30 @@ func (ix *Index) AddBlock(id postings.FileID, terms []string, counts []uint32) {
 	}
 	ix.nPostings += int64(len(terms))
 }
+
+// AddBlockPositional inserts a file's duplicate-free term block with the
+// per-term occurrence positions extracted alongside it
+// (extract.TermBlock.Positions): positions[i] lists the ascending token
+// positions of terms[i] in the file, and the per-posting frequency is
+// derived from it, so TF ranking needs no separate count. Marks the index
+// positional.
+func (ix *Index) AddBlockPositional(id postings.FileID, terms []string, positions [][]uint32) {
+	ix.positional = true
+	for i, term := range terms {
+		l := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
+		l.AddPositions(id, positions[i])
+	}
+	ix.nPostings += int64(len(terms))
+}
+
+// Positional reports whether the index carries per-posting token positions
+// (phrase queries need them; the codec persists them as DSIX v8).
+func (ix *Index) Positional() bool { return ix.positional }
+
+// SetPositional marks a (typically fresh) index as positional, so an empty
+// positional build still persists as a positional catalog and keeps
+// re-extracting positionally through incremental updates.
+func (ix *Index) SetPositional() { ix.positional = true }
 
 // AddTermOccurrence inserts a single (term, file) occurrence, tolerating
 // duplicates. It is the paper's rejected alternative — terms inserted
@@ -188,6 +217,7 @@ func (ix *Index) Join(other *Index) {
 	if other == nil {
 		return
 	}
+	ix.positional = ix.positional || other.positional
 	other.terms.Range(func(term string, l *postings.List) bool {
 		existing, ok := ix.terms.Get(term)
 		if !ok {
@@ -225,6 +255,7 @@ func (ix *Index) Clone() *Index {
 		return true
 	})
 	out.nPostings = ix.nPostings
+	out.positional = ix.positional
 	return out
 }
 
@@ -277,6 +308,13 @@ func NewShared(capacity int) *Shared { return &Shared{ix: New(capacity)} }
 func (s *Shared) AddBlock(id postings.FileID, terms []string, counts []uint32) {
 	s.mu.Lock()
 	s.ix.AddBlock(id, terms, counts)
+	s.mu.Unlock()
+}
+
+// AddBlockPositional inserts a positional term block under the lock.
+func (s *Shared) AddBlockPositional(id postings.FileID, terms []string, positions [][]uint32) {
+	s.mu.Lock()
+	s.ix.AddBlockPositional(id, terms, positions)
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,190 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desksearch/internal/postings"
+)
+
+// buildPositionalIndex builds a positional sample index: every term block
+// carries ascending occurrence positions.
+func buildPositionalIndex(rng *rand.Rand, nFiles, vocab int) (*Index, *FileTable) {
+	ft := NewFileTable()
+	ix := New(0)
+	ix.SetPositional()
+	for f := 0; f < nFiles; f++ {
+		id := ft.Add(fmt.Sprintf("dir%d/file%d.txt", f%4, f), int64(100+f), int64(f+1))
+		n := 1 + rng.Intn(8)
+		if n > vocab {
+			n = vocab
+		}
+		seen := map[string]bool{}
+		var terms []string
+		for len(terms) < n {
+			w := fmt.Sprintf("term%d", rng.Intn(vocab))
+			if !seen[w] {
+				seen[w] = true
+				terms = append(terms, w)
+			}
+		}
+		positions := make([][]uint32, len(terms))
+		pos := uint32(0)
+		for i := range terms {
+			run := make([]uint32, 0, 3)
+			for k := 0; k <= rng.Intn(3); k++ {
+				pos += uint32(1 + rng.Intn(4))
+				run = append(run, pos)
+			}
+			positions[i] = run
+		}
+		ix.AddBlockPositional(id, terms, positions)
+	}
+	// A few deletions exercise tombstones in the v8 file table too.
+	if nFiles > 4 {
+		victim := postings.FileID(rng.Intn(nFiles))
+		ix.RemoveFiles(postings.FromIDs([]postings.FileID{victim}))
+		ft.Tombstone(victim)
+	}
+	return ix, ft
+}
+
+func TestPositionalSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ix, ft := buildPositionalIndex(rng, 40, 25)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	// The frame must be v8: version bytes follow the 4-byte magic.
+	if got := buf.Bytes()[4]; got != PositionalVersion {
+		t.Fatalf("frame version = %d, want %d", got, PositionalVersion)
+	}
+	loaded, loadedFt, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Positional() {
+		t.Fatal("loaded index lost its positional flag")
+	}
+	if !loaded.Equal(ix) {
+		t.Fatal("loaded index differs (positions compared)")
+	}
+	if loadedFt.Len() != ft.Len() || loadedFt.LiveCount() != ft.LiveCount() {
+		t.Fatalf("file table: %d/%d live, want %d/%d",
+			loadedFt.LiveCount(), loadedFt.Len(), ft.LiveCount(), ft.Len())
+	}
+}
+
+func TestPositionalSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ix, _ := buildPositionalIndex(rng, 25, 12)
+	var buf bytes.Buffer
+	if err := SaveSegment(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != PositionalVersion {
+		t.Fatalf("segment frame version = %d, want %d", got, PositionalVersion)
+	}
+	loaded, err := LoadSegment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Positional() || !loaded.Equal(ix) {
+		t.Fatal("positional segment round trip mismatch")
+	}
+}
+
+func TestPositionalKindBytesDisjoint(t *testing.T) {
+	// A positional full index must not load as a segment or vice versa:
+	// the kind byte keeps the two v8 payload shapes apart.
+	rng := rand.New(rand.NewSource(23))
+	ix, ft := buildPositionalIndex(rng, 10, 8)
+	var full, seg bytes.Buffer
+	if err := Save(&full, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSegment(&seg, ix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSegment(bytes.NewReader(full.Bytes())); err == nil {
+		t.Error("full index accepted as segment")
+	}
+	if _, _, err := Load(bytes.NewReader(seg.Bytes())); err == nil {
+		t.Error("segment accepted as full index")
+	}
+}
+
+func TestPositionalSaveLoadQuick(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix, ft := buildPositionalIndex(rng, 1+rng.Intn(20), 1+rng.Intn(15))
+		var buf bytes.Buffer
+		if err := Save(&buf, ix, ft); err != nil {
+			return false
+		}
+		got, gotFt, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Positional() && got.Equal(ix) && gotFt.Len() == ft.Len()
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionalLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ix, ft := buildPositionalIndex(rng, 20, 10)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip every byte in turn: the checksum (or, for trailer flips, the
+	// mismatch against the recomputed sum) must reject each one — v8
+	// payloads get exactly the corruption detection v6 has.
+	for pos := range pristine {
+		corrupt := append([]byte(nil), pristine...)
+		corrupt[pos] ^= 0x40
+		if _, _, err := Load(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("corruption at byte %d not detected", pos)
+		}
+	}
+	for _, n := range []int{0, 3, 7, len(pristine) / 2, len(pristine) - 1} {
+		if _, _, err := Load(bytes.NewReader(pristine[:n])); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestNonPositionalStaysV6(t *testing.T) {
+	// The byte-identical guarantee: an index built without positions still
+	// writes a v6 frame even though the codec knows v8.
+	rng := rand.New(rand.NewSource(25))
+	ix, ft := buildSampleIndex(rng, 10, 5)
+	var buf bytes.Buffer
+	if err := Save(&buf, ix, ft); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != codecVersion {
+		t.Fatalf("non-positional frame version = %d, want %d", got, codecVersion)
+	}
+}
+
+func TestJoinAndClonePropagatePositional(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a, _ := buildPositionalIndex(rng, 8, 6)
+	b, _ := buildPositionalIndex(rng, 8, 6)
+	if !a.Clone().Positional() {
+		t.Error("clone lost the positional flag")
+	}
+	a.Join(b)
+	if !a.Positional() {
+		t.Error("join lost the positional flag")
+	}
+}

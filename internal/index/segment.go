@@ -14,26 +14,44 @@ import (
 // segment so a swapped or truncated segment is caught before its postings
 // are trusted.
 
-// SaveSegment writes ix's term section to w as a shard segment.
+// SaveSegment writes ix's term section to w as a shard segment: the v7
+// form, or the positional v8 (kind segment) form when the index carries
+// token positions. Non-positional segments stay byte-identical to the
+// pre-positions codec.
 func SaveSegment(w io.Writer, ix *Index) error {
+	if ix.Positional() {
+		return EncodeFrame(w, PositionalVersion, func(bw *bufio.Writer) error {
+			if err := bw.WriteByte(kindSegment); err != nil {
+				return err
+			}
+			return writeTermSection(bw, ix, true)
+		})
+	}
 	return EncodeFrame(w, SegmentVersion, func(bw *bufio.Writer) error {
-		return writeTermSection(bw, ix)
+		return writeTermSection(bw, ix, false)
 	})
 }
 
-// LoadSegment reads a shard segment written by SaveSegment. Like Load it
-// buffers the whole stream so the checksum is verified before any content
-// is trusted.
+// LoadSegment reads a shard segment written by SaveSegment (v7 or
+// positional v8; the loaded index remembers which). Like Load it buffers
+// the whole stream so the checksum is verified before any content is
+// trusted.
 func LoadSegment(r io.Reader) (*Index, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("index: reading segment: %w", err)
 	}
-	br, payload, err := DecodeFrame(data, SegmentVersion)
+	br, payload, version, err := DecodeFrameAny(data, SegmentVersion, PositionalVersion)
 	if err != nil {
 		return nil, err
 	}
-	ix, err := readTermSection(br, payload)
+	positional := version == PositionalVersion
+	if positional {
+		if err := readKind(br, kindSegment); err != nil {
+			return nil, err
+		}
+	}
+	ix, err := readTermSection(br, payload, positional)
 	if err != nil {
 		return nil, err
 	}

@@ -143,8 +143,9 @@ func (e *Engine) Search(q *Query) []Hit {
 	resp, err := e.Query(context.Background(), Request{Query: q, OmitTerms: true})
 	if err != nil {
 		// A background context never cancels and a bare query request is
-		// always valid, so the only failure is a nil/empty query — which
-		// matches nothing.
+		// always valid, so the only failures are a nil/empty query — which
+		// matches nothing — and a phrase over a position-free index, which
+		// the v1 API can only report as no hits (use Query for the error).
 		return nil
 	}
 	return resp.Hits
@@ -315,47 +316,66 @@ func (e *Engine) allFiles() *postings.List {
 // eval computes the posting list of files satisfying n within one index,
 // checking ctx between evaluation steps: a canceled context makes the
 // remaining steps return empty lists immediately, so an in-flight
-// partition aborts at the next node boundary. A termNode result may alias
-// the index's live storage: no boolean operator mutates its operands, the
-// result is consumed entirely inside queryOne while Query still holds the
-// engine's read lock (updates commit under the write lock), and the hits
-// handed back to the caller are independent structs — so the lookup stays
+// partition aborts at the next node boundary. The only evaluation error is
+// a phrase over an index without positions (ErrNoPositions), which
+// propagates up unwrapped. A termNode result may alias the index's live
+// storage: no boolean operator mutates its operands, the result is
+// consumed entirely inside queryOne while Query still holds the engine's
+// read lock (updates commit under the write lock), and the hits handed
+// back to the caller are independent structs — so the lookup stays
 // allocation-free on the hot path.
-func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List) *postings.List {
+func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List) (*postings.List, error) {
 	if ctx.Err() != nil {
-		return &postings.List{}
+		return &postings.List{}, nil
 	}
 	switch v := n.(type) {
 	case termNode:
 		l := ix.Lookup(v.term)
 		if l == nil {
-			return &postings.List{}
+			return &postings.List{}, nil
 		}
-		return l
+		return l, nil
+	case phraseNode:
+		return evalPhrase(ix, v.terms)
 	case andNode:
-		acc := eval(ctx, ix, v.kids[0], universe)
+		acc, err := eval(ctx, ix, v.kids[0], universe)
+		if err != nil {
+			return nil, err
+		}
 		for _, k := range v.kids[1:] {
 			if acc.Len() == 0 || ctx.Err() != nil {
-				return acc
+				return acc, nil
 			}
-			acc = postings.Intersect(acc, eval(ctx, ix, k, universe))
+			r, err := eval(ctx, ix, k, universe)
+			if err != nil {
+				return nil, err
+			}
+			acc = postings.Intersect(acc, r)
 		}
-		return acc
+		return acc, nil
 	case orNode:
 		acc := &postings.List{}
 		for _, k := range v.kids {
 			if ctx.Err() != nil {
-				return acc
+				return acc, nil
+			}
+			r, err := eval(ctx, ix, k, universe)
+			if err != nil {
+				return nil, err
 			}
 			// WithoutCounts keeps the union a pure ID merge: a kid may be
 			// a live counted term list, and match sets never read
 			// frequencies (ranking walks the term lists via IntersectEach).
-			acc.Merge(eval(ctx, ix, k, universe).WithoutCounts())
+			acc.Merge(r.WithoutCounts())
 		}
-		return acc
+		return acc, nil
 	case notNode:
-		return postings.Difference(universe, eval(ctx, ix, v.kid, universe))
+		r, err := eval(ctx, ix, v.kid, universe)
+		if err != nil {
+			return nil, err
+		}
+		return postings.Difference(universe, r), nil
 	default:
-		return &postings.List{}
+		return &postings.List{}, nil
 	}
 }

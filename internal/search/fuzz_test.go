@@ -1,0 +1,63 @@
+package search
+
+import "testing"
+
+// FuzzParse exercises the extended query grammar (terms, AND/OR/NOT,
+// parentheses, '-' negation, quoted phrases) with arbitrary input. Two
+// properties must hold for every input:
+//
+//  1. Parse never panics — it returns a query or an error;
+//  2. the canonical form is a fixed point: rendering a parsed query and
+//     parsing it again yields the same canonical form. Cache keys
+//     (Query.Normalize) and the server's result cache depend on this
+//     stability.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"cat",
+		"cat dog",
+		"cat AND dog",
+		"cat OR dog",
+		"NOT cat",
+		"-draft report",
+		"(cat OR dog) food",
+		`"annual report"`,
+		`"annual report" -draft`,
+		`"a b c" OR (d -e)`,
+		`""`,
+		`"unterminated`,
+		"((((x))))",
+		"e-mail",
+		"Cat!",
+		"OR OR",
+		") (",
+		`-"bad press"`,
+		"\x00\xff",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canonical := q.String()
+		again, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, text, err)
+		}
+		if again.String() != canonical {
+			t.Fatalf("canonical form unstable: %q → %q → %q", text, canonical, again.String())
+		}
+		// Positive terms must be identical across the round trip — ranking
+		// and matched-term metadata depend on them.
+		a, b := q.Terms(), again.Terms()
+		if len(a) != len(b) {
+			t.Fatalf("positive terms changed: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("positive terms changed: %v vs %v", a, b)
+			}
+		}
+	})
+}

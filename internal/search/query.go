@@ -3,11 +3,14 @@
 // parallelize it as well, for instance by using multiple indices").
 //
 // Queries are boolean: terms combine with implicit AND, the OR and NOT
-// keywords, and parentheses. Execution runs against one index or fans out
-// in parallel over the replica indices that Implementation 3 leaves
-// unjoined. Because every file's term block lands in exactly one replica,
-// any per-file predicate evaluates correctly replica-by-replica; the final
-// result is the union of per-replica results.
+// keywords, parentheses, and quoted phrases ("annual report"), which match
+// only consecutive occurrences and need an index built with token
+// positions. Execution runs against one index or fans out in parallel over
+// the replica indices that Implementation 3 leaves unjoined. Because every
+// file's term block lands in exactly one replica, any per-file predicate —
+// phrase adjacency included, since a file's positions live together with
+// its postings — evaluates correctly replica-by-replica; the final result
+// is the union of per-replica results.
 package search
 
 import (
@@ -22,6 +25,11 @@ type Query struct {
 	root node
 	// positive lists the non-negated terms, used for ranking.
 	positive []string
+	// hasPhrase records whether the query contains a multi-term phrase
+	// anywhere, so evaluation can reject position-free partitions up
+	// front — before any short-circuit could otherwise skip the phrase
+	// node and make the error depend on term order.
+	hasPhrase bool
 }
 
 // node is a query AST node.
@@ -35,7 +43,25 @@ type andNode struct{ kids []node }
 type orNode struct{ kids []node }
 type notNode struct{ kid node }
 
-func (n termNode) String() string { return n.term }
+// phraseNode matches files containing its terms at consecutive token
+// positions — the quoted-phrase operator. Always ≥ 2 terms: a one-term
+// quote parses to a plain termNode.
+type phraseNode struct{ terms []string }
+
+func (n termNode) String() string {
+	// The keywords double as legal index terms ("not", from input like
+	// "Not!"); rendering them bare would re-parse as the operator, so the
+	// canonical form quotes them (a one-word phrase parses back to a plain
+	// term). Keeps Parse(q.String()) a fixed point — the property cache
+	// keys rely on.
+	switch n.term {
+	case "and", "or", "not":
+		return `"` + n.term + `"`
+	}
+	return n.term
+}
+
+func (n phraseNode) String() string { return `"` + strings.Join(n.terms, " ") + `"` }
 
 func (n andNode) String() string { return "(" + joinNodes(n.kids, " AND ") + ")" }
 
@@ -63,16 +89,21 @@ func (q *Query) String() string {
 // appearance.
 func (q *Query) Terms() []string { return q.positive }
 
-// Parse builds a Query from text. Grammar:
+// Parse builds a Query from text. Grammar (also documented in the README's
+// query-syntax reference):
 //
 //	query  := or
 //	or     := and ("OR" and)*
 //	and    := unary+            (implicit AND)
-//	unary  := "NOT" unary | "(" or ")" | TERM
+//	unary  := "NOT" unary | "(" or ")" | TERM | PHRASE
+//	PHRASE := '"' text '"'      (quoted; matches consecutive positions)
 //
-// Keywords are case-insensitive; terms are normalized exactly like indexed
-// text (lower-cased ASCII alphanumerics), so "Cat!" matches the indexed
-// term "cat". A leading '-' negates a term ("-draft" ≡ "NOT draft").
+// Keywords are case-insensitive; terms — inside and outside quotes — are
+// normalized exactly like indexed text (lower-cased ASCII alphanumerics),
+// so "Cat!" matches the indexed term "cat". A leading '-' negates a term
+// ("-draft" ≡ "NOT draft"). A quoted phrase of one term collapses to that
+// term; evaluating a multi-term phrase requires an index built with token
+// positions (ErrNoPositions otherwise).
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {
@@ -89,9 +120,31 @@ func Parse(text string) (*Query, error) {
 	if !p.done() {
 		return nil, fmt.Errorf("search: unexpected %q", p.peek().text)
 	}
-	q := &Query{root: root}
+	q := &Query{root: root, hasPhrase: containsPhrase(root)}
 	collectPositive(root, false, &q.positive)
 	return q, nil
+}
+
+func containsPhrase(n node) bool {
+	switch v := n.(type) {
+	case phraseNode:
+		return true
+	case andNode:
+		for _, k := range v.kids {
+			if containsPhrase(k) {
+				return true
+			}
+		}
+	case orNode:
+		for _, k := range v.kids {
+			if containsPhrase(k) {
+				return true
+			}
+		}
+	case notNode:
+		return containsPhrase(v.kid)
+	}
+	return false
 }
 
 // MustParse is Parse for known-good queries in examples and tests.
@@ -104,15 +157,26 @@ func MustParse(text string) *Query {
 }
 
 func collectPositive(n node, negated bool, out *[]string) {
+	addTerm := func(term string) {
+		for _, seen := range *out {
+			if seen == term {
+				return
+			}
+		}
+		*out = append(*out, term)
+	}
 	switch v := n.(type) {
 	case termNode:
 		if !negated {
-			for _, seen := range *out {
-				if seen == v.term {
-					return
-				}
+			addTerm(v.term)
+		}
+	case phraseNode:
+		// Every phrase term is contained in every hit, so the terms rank
+		// and report like plain positive terms.
+		if !negated {
+			for _, t := range v.terms {
+				addTerm(t)
 			}
-			*out = append(*out, v.term)
 		}
 	case andNode:
 		for _, k := range v.kids {
@@ -131,6 +195,7 @@ type tokKind int
 
 const (
 	tokTerm tokKind = iota
+	tokPhrase
 	tokAnd
 	tokOr
 	tokNot
@@ -141,6 +206,8 @@ const (
 type token struct {
 	kind tokKind
 	text string
+	// terms holds a phrase token's normalized terms (tokPhrase only).
+	terms []string
 }
 
 func lex(text string) ([]token, error) {
@@ -152,28 +219,45 @@ func lex(text string) ([]token, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == '(':
-			toks = append(toks, token{tokLParen, "("})
+			toks = append(toks, token{kind: tokLParen, text: "("})
 			i++
 		case c == ')':
-			toks = append(toks, token{tokRParen, ")"})
+			toks = append(toks, token{kind: tokRParen, text: ")"})
 			i++
 		case c == '-':
-			toks = append(toks, token{tokNot, "-"})
+			toks = append(toks, token{kind: tokNot, text: "-"})
 			i++
+		case c == '"':
+			j := i + 1
+			for j < len(text) && text[j] != '"' {
+				j++
+			}
+			if j >= len(text) {
+				return nil, fmt.Errorf("search: unterminated phrase (missing closing '\"')")
+			}
+			// The quoted text normalizes through the index's tokenizer, so
+			// "Annual-Report!" queries the terms annual, report — exactly
+			// what extraction indexed.
+			terms := tokenize.Terms([]byte(text[i+1:j]), tokenize.Default)
+			if len(terms) == 0 {
+				return nil, fmt.Errorf("search: phrase %q contains no searchable term", text[i:j+1])
+			}
+			toks = append(toks, token{kind: tokPhrase, text: text[i : j+1], terms: terms})
+			i = j + 1
 		default:
 			j := i
-			for j < len(text) && !strings.ContainsRune(" \t\n\r()", rune(text[j])) {
+			for j < len(text) && !strings.ContainsRune(" \t\n\r()\"", rune(text[j])) {
 				j++
 			}
 			word := text[i:j]
 			i = j
 			switch strings.ToUpper(word) {
 			case "AND":
-				toks = append(toks, token{tokAnd, word})
+				toks = append(toks, token{kind: tokAnd, text: word})
 			case "OR":
-				toks = append(toks, token{tokOr, word})
+				toks = append(toks, token{kind: tokOr, text: word})
 			case "NOT":
-				toks = append(toks, token{tokNot, word})
+				toks = append(toks, token{kind: tokNot, text: word})
 			default:
 				// Normalize through the index's own tokenizer; one word
 				// of query text may carry several index terms ("e-mail").
@@ -182,7 +266,7 @@ func lex(text string) ([]token, error) {
 					return nil, fmt.Errorf("search: %q contains no searchable term", word)
 				}
 				for _, t := range terms {
-					toks = append(toks, token{tokTerm, t})
+					toks = append(toks, token{kind: tokTerm, text: t})
 				}
 			}
 		}
@@ -275,6 +359,13 @@ func (p *parser) parseUnary() (node, error) {
 		return n, nil
 	case tokTerm:
 		return termNode{term: t.text}, nil
+	case tokPhrase:
+		if len(t.terms) == 1 {
+			// A one-word "phrase" is just that word; collapsing it keeps
+			// canonical forms (and therefore cache keys) identical.
+			return termNode{term: t.terms[0]}, nil
+		}
+		return phraseNode{terms: t.terms}, nil
 	default:
 		return nil, fmt.Errorf("search: unexpected %q", t.text)
 	}

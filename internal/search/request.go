@@ -92,6 +92,9 @@ type partResult struct {
 	hits    []Hit
 	matched int
 	dur     time.Duration
+	// err is the partition's evaluation failure (a phrase query against a
+	// partition without positions); it fails the whole query.
+	err error
 }
 
 // Query evaluates req over every partition and returns the requested page.
@@ -153,6 +156,11 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
 
 	resp := &Response{Partitions: make([]PartitionStat, len(parts))}
 	ranked := make([][]Hit, len(parts))
@@ -193,7 +201,18 @@ type scored struct {
 // and retain the local top k (all hits when k == 0), ranked.
 func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postings.List, req Request, k int) partResult {
 	start := time.Now()
-	matched := eval(ctx, ix, req.Query.root, universe)
+	// Phrase queries are rejected on position-free partitions before
+	// evaluation, not inside it: AND's empty-accumulator short-circuit
+	// could otherwise skip the phrase node, making the error appear and
+	// disappear with term order. (evalPhrase still checks per term list,
+	// which covers partially positional lists inside a positional index.)
+	if req.Query.hasPhrase && !ix.Positional() {
+		return partResult{err: ErrNoPositions, dur: time.Since(start)}
+	}
+	matched, err := eval(ctx, ix, req.Query.root, universe)
+	if err != nil {
+		return partResult{err: err, dur: time.Since(start)}
+	}
 	if ctx.Err() != nil || matched.Len() == 0 {
 		return partResult{dur: time.Since(start)}
 	}

@@ -8,7 +8,11 @@
 // Endpoints:
 //
 //	GET  /search?q=...   evaluate a query (limit, offset, rank, prefix,
-//	                     timeout parameters), JSON response
+//	                     timeout parameters), JSON response; q uses the
+//	                     full grammar, quoted phrases included
+//	                     (q=%22annual%20report%22 — phrase queries need a
+//	                     catalog built with positions and otherwise fail
+//	                     with 400)
 //	GET  /stats          catalog, server, and cache counters
 //	GET  /healthz        liveness probe
 //	POST /reload         run an incremental update (or a full rebuild

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -50,6 +51,60 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return &fixture{fs: fs, cat: cat, srv: srv, ts: ts}
+}
+
+// TestPhraseQueriesOverHTTP drives the daemon end-to-end with quoted
+// phrases: a positional catalog answers them, and a position-free catalog
+// reports the clear client error rather than degrading to AND.
+func TestPhraseQueriesOverHTTP(t *testing.T) {
+	fs := vfs.NewMemFS()
+	for name, content := range map[string]string{
+		"docs/a.txt": "the annual report was filed",
+		"docs/b.txt": "report annual mixup",
+	} {
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat, err := desksearch.IndexFS(fs, ".", desksearch.Options{Positions: true, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Catalog: cat})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out SearchResponse
+	resp, err := http.Get(ts.URL + `/search?q=` + url.QueryEscape(`"annual report"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("phrase query status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Total != 1 || len(out.Hits) != 1 || out.Hits[0].Path != "docs/a.txt" {
+		t.Fatalf("phrase query → %+v", out)
+	}
+	if out.Query != `"annual report"` {
+		t.Fatalf("canonical query = %q", out.Query)
+	}
+
+	// The same phrase on the default (position-free) fixture catalog is a
+	// client error with an actionable message.
+	f := newFixture(t, Config{})
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := f.get(t, `/search?q=`+url.QueryEscape(`"quarterly report"`), &e); code != http.StatusBadRequest {
+		t.Fatalf("phrase on non-positional catalog: status %d (%+v)", code, e)
+	}
+	if !strings.Contains(e.Error, "without positions") {
+		t.Fatalf("error %q does not explain missing positions", e.Error)
+	}
 }
 
 func (f *fixture) get(t *testing.T, path string, out any) int {

@@ -121,6 +121,18 @@ func (s *Set) Shards() []*index.Index { return s.shards }
 // Len returns the number of shards.
 func (s *Set) Len() int { return len(s.shards) }
 
+// Positional reports whether the set carries token positions: a set built
+// or loaded positionally has every shard flagged (segments persist as DSIX
+// v8), and the flag decides how incremental updates re-extract.
+func (s *Set) Positional() bool {
+	for _, ix := range s.shards {
+		if ix.Positional() {
+			return true
+		}
+	}
+	return false
+}
+
 // Stats aggregates index statistics across the shards. Terms is an upper
 // bound: a term present in several shards is counted once per shard.
 func (s *Set) Stats() index.Stats {
@@ -171,8 +183,10 @@ func Distribute(files *index.FileTable, sources []*index.Index, n int) *Set {
 		assign[id] = int32(ShardFor(postings.FileID(id), n))
 	}
 	totalTerms := 0
+	positional := false
 	for _, src := range sources {
 		totalTerms += src.NumTerms()
+		positional = positional || src.Positional()
 	}
 	shards := make([]*index.Index, n)
 	var wg sync.WaitGroup
@@ -181,22 +195,36 @@ func Distribute(files *index.FileTable, sources []*index.Index, n int) *Set {
 		go func(s int32) {
 			defer wg.Done()
 			dst := index.New(totalTerms / n)
+			if positional {
+				dst.SetPositional()
+			}
 			var mine []postings.FileID
 			var mineCounts []uint32
+			var minePos [][]uint32
 			for _, src := range sources {
 				src.Range(func(term string, l *postings.List) bool {
-					mine, mineCounts = mine[:0], mineCounts[:0]
+					mine, mineCounts, minePos = mine[:0], mineCounts[:0], minePos[:0]
+					withPos := l.HasPositions()
 					for i, id := range l.IDs() {
 						if assign[id] == s {
 							mine = append(mine, id)
-							mineCounts = append(mineCounts, l.CountAt(i))
+							if withPos {
+								minePos = append(minePos, l.PositionsAt(i))
+							} else {
+								mineCounts = append(mineCounts, l.CountAt(i))
+							}
 						}
 					}
 					if len(mine) > 0 {
 						// Filtering an ascending list keeps it ascending,
-						// so the sort-free constructor applies; frequencies
-						// travel with their postings.
-						dst.MergeTerm(term, postings.FromSortedIDCounts(mine, mineCounts))
+						// so the sort-free constructors apply; frequencies —
+						// and positions, for positional sources — travel
+						// with their postings.
+						if withPos {
+							dst.MergeTerm(term, postings.FromSortedIDPositions(mine, minePos))
+						} else {
+							dst.MergeTerm(term, postings.FromSortedIDCounts(mine, mineCounts))
+						}
 					}
 					return true
 				})

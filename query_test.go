@@ -454,6 +454,47 @@ func TestQueryNormalize(t *testing.T) {
 	}
 }
 
+// TestNormalizeKeyInjective is the regression test for the cache-key
+// hardening: PathPrefix is the one free-form field (an HTTP ?prefix=
+// parameter can carry any byte, the \x00 separator included), so it is
+// length-prefixed in the key. Every pair of distinct requests below must
+// produce distinct keys — before the fix, a prefix containing the raw
+// separator could impersonate the key structure around it.
+func TestNormalizeKeyInjective(t *testing.T) {
+	requests := []Query{
+		{Text: "cat dog"},
+		{Text: "cat dog", PathPrefix: "docs/"},
+		{Text: "cat dog", PathPrefix: "docs/\x00limit=1"},
+		{Text: "cat dog", Limit: 1, PathPrefix: "docs/"},
+		{Text: "cat dog", PathPrefix: "\x00"},
+		{Text: "cat dog", PathPrefix: "\x00\x00"},
+		{Text: "cat dog", PathPrefix: "1:a"},
+		{Text: "cat dog", PathPrefix: "a\x00prefix=1:a"},
+		{Text: "cat dog", Limit: 10, Offset: 5, PathPrefix: "p\x00rank=1"},
+		{Text: "cat dog", Limit: 10, Offset: 5, Ranking: RankTF, PathPrefix: "p"},
+		{Text: `"cat dog"`}, // phrase ≠ conjunction in the key
+	}
+	keys := map[string]int{}
+	for i, q := range requests {
+		_, key, err := q.Normalize()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if prev, dup := keys[key]; dup {
+			t.Errorf("requests %d and %d collided on key %q", prev, i, key)
+		}
+		keys[key] = i
+	}
+	// The prefix field must be length-delimited, not merely separated.
+	_, key, err := (Query{Text: "cat", PathPrefix: "docs/"}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(key, "prefix=5:docs/") {
+		t.Errorf("key %q does not length-prefix the PathPrefix field", key)
+	}
+}
+
 // TestGenerationAdvancesOnCommit pins the cache-key contract: building a
 // catalog starts a generation, every committed change advances it, and a
 // no-op update leaves it alone (so caches stay warm across empty polls).
