@@ -675,8 +675,9 @@ func BenchmarkTopKQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("full-sort", func(b *testing.B) {
+		req := Query{Expr: expr} // no limit: every partition sorts its full hit list
 		for i := 0; i < b.N; i++ {
-			if _, err := cat.Search(q); err != nil {
+			if _, err := cat.Query(ctx, req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -694,6 +695,89 @@ func BenchmarkTopKQuery(b *testing.B) {
 	}
 	b.Run("limit-10-tf", func(b *testing.B) {
 		req := Query{Expr: expr, Limit: 10, Ranking: RankTF}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBM25Query measures BM25-ranked retrieval on the top-k corpus —
+// the per-request global statistics pass (df aggregation across shards,
+// IDFs, avgdl) plus the per-document float scoring — against the same
+// query coordination-ranked (the limit-10 arm of BenchmarkTopKQuery).
+func BenchmarkBM25Query(b *testing.B) {
+	cat, q := topkCatalog(b)
+	ctx := context.Background()
+	expr, err := ParseQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cat.Query(ctx, Query{Expr: expr, Limit: 1, Ranking: RankBM25}); err != nil {
+		b.Fatal(err) // warm the universes
+	}
+	b.Run("limit-10", func(b *testing.B) {
+		req := Query{Expr: expr, Limit: 10, Ranking: RankBM25}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-sort", func(b *testing.B) {
+		req := Query{Expr: expr, Ranking: RankBM25}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSuggest measures autocomplete: one term-dictionary scan per
+// partition, df aggregation, and the ranked truncation, for a short
+// (broad) and a longer (narrow) prefix.
+func BenchmarkSuggest(b *testing.B) {
+	cat, _ := topkCatalog(b)
+	ctx := context.Background()
+	vocab := corpus.BuildVocabulary(corpus.PaperSpec().Scale(1.0 / 32))
+	long := vocab[0]
+	short := long[:1]
+	for _, tc := range []struct{ name, prefix string }{
+		{"short-prefix", short},
+		{"long-prefix", long},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cat.Suggest(ctx, tc.prefix, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnippets measures what snippet assembly adds to a positional
+// query: the same request with and without the per-hit window
+// reconstruction (anchor scan, dictionary pass, highlight spans).
+func BenchmarkSnippets(b *testing.B) {
+	cat, phrase := phraseCatalog(b)
+	ctx := context.Background()
+	word := strings.Fields(strings.Trim(phrase, `"`))[0]
+	if _, err := cat.Query(ctx, Query{Text: word, Limit: 1}); err != nil {
+		b.Fatal(err) // warm the universes
+	}
+	b.Run("with-snippets", func(b *testing.B) {
+		req := Query{Text: word, Limit: 10, Snippets: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without", func(b *testing.B) {
+		req := Query{Text: word, Limit: 10}
 		for i := 0; i < b.N; i++ {
 			if _, err := cat.Query(ctx, req); err != nil {
 				b.Fatal(err)

@@ -21,17 +21,24 @@
 // against a position-free index they fail with a clear error. The shell
 // usually requires wrapping a phrase query in single quotes.
 //
-// Retrieval runs through the v2 Query API: -n and -offset page through the
+// Retrieval runs through the Query API: -n and -offset page through the
 // ranked results with bounded top-k retrieval per partition, -rank picks
-// coordination-count or term-frequency scoring, -prefix restricts hits to
-// a path prefix, and -timeout bounds the query via context cancellation.
+// the scoring mode by name (count, tf, or bm25 — bm25 needs an index that
+// records document lengths, which every fresh build does), -prefix
+// restricts hits to a path prefix, -snippets prints a highlighted context
+// window per hit (positional indexes only), and -timeout bounds the query
+// via context cancellation. A trailing-wildcard term (repor*) matches every
+// indexed term with that prefix; -suggest lists matching dictionary terms
+// instead of searching.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,8 +54,10 @@ func main() {
 		pos       = flag.Bool("positions", false, "with -root, record token positions so quoted phrase queries work")
 		limit     = flag.Int("n", 20, "maximum results to return (0 = all)")
 		offset    = flag.Int("offset", 0, "skip this many ranked results (pagination)")
-		rank      = flag.String("rank", "count", "ranking mode: count (distinct matched terms) or tf (term frequency)")
+		rank      = flag.String("rank", "count", "ranking mode: count (distinct matched terms), tf (term frequency), or bm25 (relevance)")
 		prefix    = flag.String("prefix", "", "only return hits whose path starts with this prefix")
+		snippets  = flag.Bool("snippets", false, "print a highlighted context window per hit (needs a positional index)")
+		suggest   = flag.Bool("suggest", false, "treat QUERY as a term prefix and list completions instead of searching")
 		timeout   = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 		verbose   = flag.Bool("v", false, "print per-partition match counts and timings")
 		top       = flag.Int("top", 0, "print the N most frequent terms instead of searching")
@@ -59,21 +68,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	var ranking desksearch.Ranking
-	switch *rank {
-	case "count":
-		ranking = desksearch.RankCount
-	case "tf":
-		ranking = desksearch.RankTF
-	default:
-		fmt.Fprintf(os.Stderr, "dsearch: unknown -rank %q (want count or tf)\n", *rank)
+	// Ranking names are the wire values the daemon accepts too; the legacy
+	// integer forms keep old scripts working.
+	ranking, err := desksearch.ParseRanking(*rank)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsearch: unknown -rank %q (want count, tf, or bm25)\n", *rank)
 		os.Exit(2)
 	}
 
-	var (
-		cat *desksearch.Catalog
-		err error
-	)
+	var cat *desksearch.Catalog
 	switch {
 	case *indexPath != "":
 		cat, err = loadIndex(*indexPath)
@@ -102,12 +105,37 @@ func main() {
 	}
 
 	query := strings.Join(flag.Args(), " ")
+	if *suggest {
+		n := *limit
+		if n <= 0 {
+			n = 10
+		}
+		sugs, err := cat.Suggest(ctx, query, n)
+		if err != nil {
+			fatal(err)
+		}
+		if len(sugs) == 0 {
+			fmt.Printf("no completions for %q\n", query)
+			return
+		}
+		for _, sg := range sugs {
+			fmt.Printf("%6d  %s\n", sg.Files, sg.Term)
+		}
+		return
+	}
+	// Snippets require a bounded page; give the flag a sane one when the
+	// user asked for every hit.
+	snipLimit := *limit
+	if *snippets && snipLimit <= 0 {
+		snipLimit = 20
+	}
 	resp, err := cat.Query(ctx, desksearch.Query{
 		Text:       query,
-		Limit:      *limit,
+		Limit:      snipLimit,
 		Offset:     *offset,
 		Ranking:    ranking,
 		PathPrefix: *prefix,
+		Snippets:   *snippets,
 	})
 	if err != nil {
 		fatal(err)
@@ -125,13 +153,42 @@ func main() {
 	}
 	fmt.Println(":")
 	for _, h := range resp.Hits {
-		fmt.Printf("%4d. %s\n", h.Score, h.Path)
+		fmt.Printf("%8s. %s\n", formatScore(h.Score), h.Path)
+		if h.Snippet != nil {
+			fmt.Printf("          ...%s...\n", highlightSnippet(h.Snippet))
+		}
 	}
 	if *verbose {
 		for _, p := range resp.Partitions {
 			fmt.Printf("partition %d: %d matched in %s\n", p.Partition, p.Matched, p.Duration.Round(time.Microsecond))
 		}
 	}
+}
+
+// formatScore prints integral scores (count and tf modes) without a
+// fractional tail and BM25 scores with enough precision to compare.
+func formatScore(s float64) string {
+	if s == math.Trunc(s) {
+		return strconv.FormatFloat(s, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(s, 'f', 3, 64)
+}
+
+// highlightSnippet brackets the snippet's highlighted spans for terminal
+// output: "the [annual] [report] for" — spans arrive ascending and
+// non-overlapping, so a single left-to-right pass suffices.
+func highlightSnippet(sn *desksearch.Snippet) string {
+	var b strings.Builder
+	last := 0
+	for _, sp := range sn.Highlights {
+		b.WriteString(sn.Text[last:sp.Start])
+		b.WriteByte('[')
+		b.WriteString(sn.Text[sp.Start:sp.End])
+		b.WriteByte(']')
+		last = sp.End
+	}
+	b.WriteString(sn.Text[last:])
+	return b.String()
 }
 
 // loadIndex reads a catalog from path: a sharded index directory when path

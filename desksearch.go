@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -150,7 +152,53 @@ const (
 	// query terms in the file, so a file mentioning a term many times
 	// outranks one mentioning it once.
 	RankTF
+	// RankBM25 scores a hit by Okapi BM25 relevance: rarer terms weigh
+	// more, repeated occurrences saturate, and long documents are
+	// normalized by their token length. Requires a catalog that records
+	// document lengths — every fresh build does; catalogs loaded from
+	// pre-v9 DSIX files fail with a clear error (rebuild to enable).
+	// Sharding never changes BM25 scores: statistics aggregate across
+	// partitions first, so a sharded catalog scores bit-identically to
+	// the same corpus unsharded.
+	RankBM25
 )
+
+// String returns the ranking's wire name — the value the HTTP rank=
+// parameter and the dsearch -rank flag accept.
+func (r Ranking) String() string {
+	switch r {
+	case RankCount:
+		return "count"
+	case RankTF:
+		return "tf"
+	case RankBM25:
+		return "bm25"
+	default:
+		return fmt.Sprintf("Ranking(%d)", int(r))
+	}
+}
+
+// ParseRanking resolves a ranking's wire name ("count", "tf", "bm25",
+// case-insensitively) to its Ranking value. The pre-v3 integer forms ("0",
+// "1") still parse, so clients built against the numeric wire format keep
+// working; anything else is an error naming the accepted values.
+func ParseRanking(s string) (Ranking, error) {
+	switch strings.ToLower(s) {
+	case "count", "coordination":
+		return RankCount, nil
+	case "tf":
+		return RankTF, nil
+	case "bm25":
+		return RankBM25, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		switch r := Ranking(n); r {
+		case RankCount, RankTF, RankBM25:
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("desksearch: unknown ranking %q (want count, tf, or bm25)", s)
+}
 
 // Expr is a parsed query expression, reusable across Query calls.
 type Expr struct{ q *search.Query }
@@ -192,6 +240,11 @@ type Query struct {
 	// PathPrefix, when non-empty, restricts hits to paths starting with
 	// it; filtered-out matches do not count toward Response.Total.
 	PathPrefix string
+	// Snippets asks for a per-hit context window (Hit.Snippet) built from
+	// the catalog's positional index. Requires a catalog built with
+	// Options.Positions (the same error phrase queries give otherwise) and
+	// a positive Limit.
+	Snippets bool
 }
 
 // Normalize parses the query (when Expr is unset) and returns a copy with
@@ -211,7 +264,7 @@ func (q Query) Normalize() (Query, string, error) {
 		return q, "", fmt.Errorf("desksearch: negative offset %d", q.Offset)
 	}
 	switch q.Ranking {
-	case RankCount, RankTF:
+	case RankCount, RankTF, RankBM25:
 	default:
 		return q, "", fmt.Errorf("desksearch: unknown ranking mode %d", int(q.Ranking))
 	}
@@ -226,21 +279,54 @@ func (q Query) Normalize() (Query, string, error) {
 	// carry any byte, the \x00 field separator included), so it is
 	// length-prefixed: the key stays injective in its fields no matter what
 	// the prefix contains, and no future field appended after it can be
-	// impersonated by a crafted prefix.
-	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%d\x00prefix=%d:%s",
-		q.Expr.String(), q.Limit, q.Offset, int(q.Ranking), len(q.PathPrefix), q.PathPrefix)
+	// impersonated by a crafted prefix. The ranking is keyed by wire name,
+	// not integer, so the key survives any renumbering of the enum.
+	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%s\x00snippets=%t\x00prefix=%d:%s",
+		q.Expr.String(), q.Limit, q.Offset, q.Ranking, q.Snippets, len(q.PathPrefix), q.PathPrefix)
 	return q, key, nil
 }
 
-// Hit is one search hit of the v2 Query API.
+// Hit is one search hit of the Query API.
 type Hit struct {
 	// Path is the matched file, relative to the indexed root.
 	Path string
-	// Score ranks the hit under the request's Ranking mode.
-	Score int
+	// Score ranks the hit under the request's Ranking mode. Count and TF
+	// scores are small integers represented exactly; BM25 scores are real
+	// relevance weights. Ties break by indexing order, deterministically:
+	// hits are ordered by descending Score under exact float64 comparison,
+	// then ascending file identity, and scores are never NaN.
+	Score float64
 	// Terms lists the positive query terms the file contains, in query
-	// order (the first 64 positive terms are tracked).
+	// order, followed by any matched prefix operators in their canonical
+	// "repor*" form (the first 64 are tracked).
 	Terms []string
+	// Snippet is the hit's context window; non-nil only when the request
+	// set Snippets and the file had an anchorable match.
+	Snippet *Snippet
+}
+
+// Span is a half-open byte range [Start, End) into a Snippet's Text.
+type Span struct {
+	Start int
+	End   int
+}
+
+// Snippet is a hit's context window, reconstructed from the positional
+// index: the indexed (normalized) tokens around the hit's first matched
+// position, joined by single spaces. Highlights lists the byte spans of
+// Text covered by tokens that matched the query, in ascending order. The
+// window comes from the index alone — the original file is never re-read,
+// so snippets work on catalogs loaded far from their corpus.
+type Snippet struct {
+	Text       string
+	Highlights []Span
+}
+
+// Suggestion is one autocomplete candidate: an indexed term and the number
+// of files containing it.
+type Suggestion struct {
+	Term  string
+	Files int
 }
 
 // PartitionTiming is one partition's share of a query's work.
@@ -338,7 +424,9 @@ func (c *Catalog) Search(query string) ([]Result, error) {
 	}
 	out := make([]Result, len(resp.Hits))
 	for i, h := range resp.Hits {
-		out[i] = Result{Path: h.Path, Score: h.Score}
+		// Coordination scores are distinct-term counts — exact small
+		// integers even as float64 — so the v1 int narrows losslessly.
+		out[i] = Result{Path: h.Path, Score: int(h.Score)}
 	}
 	return out, nil
 }
@@ -365,6 +453,8 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		ranking = search.RankCoordination
 	case RankTF:
 		ranking = search.RankTF
+	case RankBM25:
+		ranking = search.RankBM25
 	default:
 		return nil, fmt.Errorf("desksearch: unknown ranking mode %d", int(q.Ranking))
 	}
@@ -374,6 +464,7 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		Offset:     q.Offset,
 		Ranking:    ranking,
 		PathPrefix: q.PathPrefix,
+		Snippets:   q.Snippets,
 	})
 	if err != nil {
 		return nil, err
@@ -384,10 +475,37 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		Partitions: make([]PartitionTiming, len(resp.Partitions)),
 	}
 	for i, h := range resp.Hits {
-		out.Hits[i] = Hit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+		hit := Hit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+		if h.Snippet != nil {
+			spans := make([]Span, len(h.Snippet.Highlights))
+			for j, s := range h.Snippet.Highlights {
+				spans[j] = Span{Start: s.Start, End: s.End}
+			}
+			hit.Snippet = &Snippet{Text: h.Snippet.Text, Highlights: spans}
+		}
+		out.Hits[i] = hit
 	}
 	for i, p := range resp.Partitions {
 		out.Partitions[i] = PartitionTiming{Partition: p.Partition, Matched: p.Matched, Duration: p.Duration}
+	}
+	return out, nil
+}
+
+// Suggest returns up to n indexed terms starting with prefix — the
+// autocomplete surface behind the server's /suggest endpoint — ranked by
+// descending document frequency, ties broken alphabetically. The prefix
+// normalizes like query text (a trailing '*' is tolerated, so "Repor*"
+// suggests like "repor") and must yield a single term. n <= 0 applies a
+// default of 10. Suggestions reflect the catalog's committed state: the
+// call takes the same read lock queries do.
+func (c *Catalog) Suggest(ctx context.Context, prefix string, n int) ([]Suggestion, error) {
+	sugs, err := c.engine.Suggest(ctx, prefix, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Suggestion, len(sugs))
+	for i, s := range sugs {
+		out[i] = Suggestion{Term: s.Term, Files: s.Files}
 	}
 	return out, nil
 }

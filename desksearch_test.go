@@ -2,6 +2,7 @@ package desksearch
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sort"
 	"testing"
@@ -30,13 +31,25 @@ func demoFS(t *testing.T) *vfs.MemFS {
 	return fs
 }
 
-func paths(results []Result) []string {
-	out := make([]string, len(results))
-	for i, r := range results {
-		out[i] = r.Path
+func paths(hits []Hit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Path
 	}
 	sort.Strings(out)
 	return out
+}
+
+// queryAll evaluates q unpaginated through the Query API — what tests use
+// in place of the deprecated Search, whose contract is pinned once in
+// TestSearchQueryDefaultsAgree.
+func queryAll(t *testing.T, cat *Catalog, q string) []Hit {
+	t.Helper()
+	resp, err := cat.Query(context.Background(), Query{Text: q})
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return resp.Hits
 }
 
 func TestIndexFSAndSearch(t *testing.T) {
@@ -44,10 +57,7 @@ func TestIndexFSAndSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := cat.Search("report")
-	if err != nil {
-		t.Fatal(err)
-	}
+	hits := queryAll(t, cat, "report")
 	want := []string{"misc/old-report.wp", "notes/done.txt", "notes/todo.txt", "work/final.txt", "work/report.txt"}
 	if !reflect.DeepEqual(paths(hits), want) {
 		t.Errorf("report → %v", paths(hits))
@@ -59,10 +69,7 @@ func TestSearchBooleanOperators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := cat.Search("quarterly report -draft")
-	if err != nil {
-		t.Fatal(err)
-	}
+	hits := queryAll(t, cat, "quarterly report -draft")
 	want := []string{"misc/old-report.wp", "work/final.txt"}
 	if !reflect.DeepEqual(paths(hits), want) {
 		t.Errorf("got %v, want %v", paths(hits), want)
@@ -82,11 +89,7 @@ func TestAllImplementationsAnswerIdentically(t *testing.T) {
 		}
 		var answers [][]string
 		for _, q := range queries {
-			hits, err := cat.Search(q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			answers = append(answers, paths(hits))
+			answers = append(answers, paths(queryAll(t, cat, q)))
 		}
 		if reference == nil {
 			reference = answers
@@ -103,19 +106,19 @@ func TestFormatsOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := with.Search("allergy")
+	hits := queryAll(t, with, "allergy")
 	if len(hits) != 1 || hits[0].Path != "misc/page.html" {
 		t.Errorf("formats on: allergy → %v", hits)
 	}
 	// Markup terms must not be indexed with Formats on.
-	if hits, _ := with.Search("body"); len(hits) != 0 {
+	if hits := queryAll(t, with, "body"); len(hits) != 0 {
 		t.Errorf("markup leaked: %v", hits)
 	}
 	without, err := IndexFS(demoFS(t), ".", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := without.Search("body"); len(hits) == 0 {
+	if hits := queryAll(t, without, "body"); len(hits) == 0 {
 		t.Error("formats off should index raw markup")
 	}
 }
@@ -125,11 +128,11 @@ func TestStopwordsAndMinTermLen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := cat.Search("report"); len(hits) != 0 {
+	if hits := queryAll(t, cat, "report"); len(hits) != 0 {
 		t.Errorf("stopword indexed: %v", hits)
 	}
 	// MinTermLen 3 drops "wp" (2 bytes).
-	if hits, _ := cat.Search("wp"); len(hits) != 0 {
+	if hits := queryAll(t, cat, "wp"); len(hits) != 0 {
 		t.Errorf("short term indexed: %v", hits)
 	}
 }
@@ -170,14 +173,14 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, q := range []string{"report", "milk OR flour", "quarterly -draft"} {
-			a, _ := cat.Search(q)
-			b, _ := loaded.Search(q)
+			a := queryAll(t, cat, q)
+			b := queryAll(t, loaded, q)
 			if !reflect.DeepEqual(paths(a), paths(b)) {
 				t.Errorf("impl %d %q: %v vs %v", impl, q, paths(a), paths(b))
 			}
 		}
 		// Saving a replica catalog must leave it queryable (copies joined).
-		if _, err := cat.Search("report"); err != nil {
+		if _, err := cat.Query(context.Background(), Query{Text: "report"}); err != nil {
 			t.Errorf("catalog broken after Save: %v", err)
 		}
 	}
@@ -199,9 +202,9 @@ func TestIndexDirOnHostFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := cat.Search("desktop")
-	if err != nil || len(hits) != 1 || hits[0].Path != "a/hello.txt" {
-		t.Errorf("hits = %v, %v", hits, err)
+	hits := queryAll(t, cat, "desktop")
+	if len(hits) != 1 || hits[0].Path != "a/hello.txt" {
+		t.Errorf("hits = %v", hits)
 	}
 }
 
@@ -243,7 +246,7 @@ func TestTopTerms(t *testing.T) {
 			t.Error("TopTerms(0) should be nil")
 		}
 		// The catalog must stay queryable after aggregation.
-		if _, err := cat.Search("report"); err != nil {
+		if _, err := cat.Query(context.Background(), Query{Text: "report"}); err != nil {
 			t.Errorf("catalog broken after TopTerms: %v", err)
 		}
 	}
@@ -254,7 +257,7 @@ func TestSearchParseError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cat.Search("((("); err == nil {
+	if _, err := cat.Query(context.Background(), Query{Text: "((("}); err == nil {
 		t.Error("bad query accepted")
 	}
 }
@@ -279,11 +282,8 @@ func TestShardedSearchMatchesSingleIndex(t *testing.T) {
 		"quarterly (final OR draft)", "-milk", "report -quarterly",
 	}
 	for _, q := range queries {
-		a, err1 := single.Search(q)
-		b, err2 := sharded.Search(q)
-		if err1 != nil || err2 != nil {
-			t.Fatalf("%q: %v / %v", q, err1, err2)
-		}
+		a := queryAll(t, single, q)
+		b := queryAll(t, sharded, q)
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%q: sharded hits differ:\nsingle:  %v\nsharded: %v", q, a, b)
 		}
@@ -305,8 +305,8 @@ func TestShardedBuildsAgreeAcrossImplementations(t *testing.T) {
 			t.Fatalf("impl %d: %v", impl, err)
 		}
 		for _, q := range queries {
-			a, _ := reference.Search(q)
-			b, _ := cat.Search(q)
+			a := queryAll(t, reference, q)
+			b := queryAll(t, cat, q)
 			if !reflect.DeepEqual(a, b) {
 				t.Errorf("impl %d %q: %v vs %v", impl, q, a, b)
 			}
@@ -336,14 +336,14 @@ func TestSaveDirLoadDirRoundTrip(t *testing.T) {
 			t.Fatalf("%+v: LoadDir: %v", opt, err)
 		}
 		for _, q := range []string{"report", "milk OR flour", "quarterly -draft"} {
-			a, _ := cat.Search(q)
-			b, _ := loaded.Search(q)
+			a := queryAll(t, cat, q)
+			b := queryAll(t, loaded, q)
 			if !reflect.DeepEqual(a, b) {
 				t.Errorf("%+v %q: %v vs %v", opt, q, a, b)
 			}
 		}
 		// The saved catalog must stay queryable (SaveDir reads, not moves).
-		if _, err := cat.Search("report"); err != nil {
+		if _, err := cat.Query(context.Background(), Query{Text: "report"}); err != nil {
 			t.Errorf("catalog broken after SaveDir: %v", err)
 		}
 	}

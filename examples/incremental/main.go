@@ -124,7 +124,7 @@ func resultSet(cat *desksearch.Catalog, query string) string {
 	}
 	lines := make([]string, len(resp.Hits))
 	for i, h := range resp.Hits {
-		lines[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
+		lines[i] = fmt.Sprintf("%s=%g", h.Path, h.Score)
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, ",")

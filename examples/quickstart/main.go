@@ -57,7 +57,7 @@ func main() {
 		}
 		fmt.Printf("%-16q -> %d hit(s)\n", query, resp.Total)
 		for _, h := range resp.Hits {
-			fmt.Printf("    score %d  %-22s matched: %s\n", h.Score, h.Path, strings.Join(h.Terms, " "))
+			fmt.Printf("    score %g  %-22s matched: %s\n", h.Score, h.Path, strings.Join(h.Terms, " "))
 		}
 	}
 
@@ -74,6 +74,6 @@ func main() {
 	}
 	fmt.Printf("\nTF-ranked under docs/: %d hit(s)\n", resp.Total)
 	for _, h := range resp.Hits {
-		fmt.Printf("    tf %d  %s\n", h.Score, h.Path)
+		fmt.Printf("    tf %g  %s\n", h.Score, h.Path)
 	}
 }

@@ -1,6 +1,7 @@
 package desksearch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -20,13 +21,10 @@ import (
 // order within a score band may not.
 func resultSet(t *testing.T, cat *Catalog, query string) []string {
 	t.Helper()
-	hits, err := cat.Search(query)
-	if err != nil {
-		t.Fatalf("%q: %v", query, err)
-	}
+	hits := queryAll(t, cat, query)
 	out := make([]string, len(hits))
 	for i, h := range hits {
-		out[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
+		out[i] = fmt.Sprintf("%s=%g", h.Path, h.Score)
 	}
 	sort.Strings(out)
 	return out
@@ -39,7 +37,7 @@ func TestUpdateNotQueryRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Prime the NOT universe, then delete a file through Update.
-	if hits, _ := cat.Search("-milk"); len(hits) == 0 {
+	if hits := queryAll(t, cat, "-milk"); len(hits) == 0 {
 		t.Fatal("priming query empty")
 	}
 	if err := fs.Remove("work/report.txt"); err != nil {
@@ -286,7 +284,7 @@ func TestConcurrentSearchAndCatalogUpdate(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := cat.Search(queries[i%len(queries)]); err != nil {
+				if _, err := cat.Query(context.Background(), Query{Text: queries[i%len(queries)]}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -396,8 +394,8 @@ func TestUpdateDirOnHostFS(t *testing.T) {
 	if st.Added != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	hits, err := cat.Search("brand")
-	if err != nil || len(hits) != 1 || hits[0].Path != "a/two.txt" {
-		t.Errorf("hits = %v, %v", hits, err)
+	hits := queryAll(t, cat, "brand")
+	if len(hits) != 1 || hits[0].Path != "a/two.txt" {
+		t.Errorf("hits = %v", hits)
 	}
 }

@@ -10,6 +10,9 @@ import "desksearch/internal/fnv"
 type Counter struct {
 	entries []counterEntry
 	n       int // live entries
+	// total counts every recorded occurrence, duplicates included — the
+	// file's token length, which BM25 normalizes document scores by.
+	total uint32
 }
 
 type counterEntry struct {
@@ -33,11 +36,16 @@ func NewCounter(capacity int) *Counter {
 // Len returns the number of distinct elements.
 func (c *Counter) Len() int { return c.n }
 
+// Total returns the number of occurrences recorded since the last Reset,
+// duplicates included — the sum of all counts.
+func (c *Counter) Total() uint32 { return c.total }
+
 // Add records one occurrence of key and reports whether it was absent.
 func (c *Counter) Add(key string) bool {
 	if (c.n+1)*setMaxLoadDen > len(c.entries)*setMaxLoadNum {
 		c.grow()
 	}
+	c.total++
 	i := c.probe(key)
 	if c.entries[i].count > 0 {
 		c.entries[i].count++
@@ -56,6 +64,7 @@ func (c *Counter) AddAt(key string, pos uint32) bool {
 	if (c.n+1)*setMaxLoadDen > len(c.entries)*setMaxLoadNum {
 		c.grow()
 	}
+	c.total++
 	i := c.probe(key)
 	if c.entries[i].count > 0 {
 		c.entries[i].count++
@@ -76,6 +85,7 @@ func (c *Counter) Count(key string) uint32 {
 func (c *Counter) Reset() {
 	clear(c.entries)
 	c.n = 0
+	c.total = 0
 }
 
 // Pairs appends the distinct elements and their parallel occurrence counts

@@ -220,6 +220,7 @@ func runDirect(fsys vfs.FS, cfg Config, jobs []job, sink blockSink, res *Result)
 			res.SkippedFiles = append(res.SkippedFiles, Skipped{Path: j.ref.Path, Err: err})
 			continue
 		}
+		res.Files.SetTokens(block.File, block.Tokens)
 		feed(sink, block)
 	}
 }
@@ -295,6 +296,9 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 						skip(j.ref.Path, err)
 						continue
 					}
+					// Each file is extracted exactly once, so concurrent
+					// extractors write disjoint token-length slots.
+					res.Files.SetTokens(block.File, block.Tokens)
 					feed(sink, block)
 				}
 			}(w)
@@ -322,6 +326,7 @@ func runPipeline(fsys vfs.FS, cfg Config, jobs []job, sinkFor func(int) blockSin
 					skip(j.ref.Path, err)
 					continue
 				}
+				res.Files.SetTokens(block.File, block.Tokens)
 				blocks <- block
 			}
 		}(w)

@@ -329,6 +329,7 @@ func (p *Plan) Commit(t Target) Stats {
 				continue
 			}
 			t.Files.SetMeta(c.ID, c.Size, c.ModTime)
+			t.Files.SetTokens(c.ID, block.Tokens)
 			commitBlock(t, c.ID, block, &st)
 			st.Modified++
 		case OpAdd:
@@ -337,6 +338,7 @@ func (p *Plan) Commit(t Target) Stats {
 				continue
 			}
 			id := t.Files.Add(c.Path, c.Size, c.ModTime)
+			t.Files.SetTokens(id, block.Tokens)
 			commitBlock(t, id, block, &st)
 			st.Added++
 		}

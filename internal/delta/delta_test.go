@@ -146,7 +146,7 @@ func searchSet(t *testing.T, files *index.FileTable, parts []*index.Index, query
 	}
 	out := make([]string, len(hits))
 	for i, h := range hits {
-		out[i] = fmt.Sprintf("%s=%d", h.Path, h.Score)
+		out[i] = fmt.Sprintf("%s=%g", h.Path, h.Score)
 	}
 	sort.Strings(out)
 	return out

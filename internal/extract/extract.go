@@ -35,6 +35,11 @@ type TermBlock struct {
 	// occurs in the file. nil unless the extractor runs with
 	// Options.Positions — the payload phrase search needs.
 	Positions [][]uint32
+	// Tokens is the file's token length: the total number of emitted term
+	// occurrences, duplicates included (the sum of Counts, or of the
+	// Positions list lengths). BM25 normalizes scores by it; the file table
+	// persists it as the DSIX v9 doc-length section.
+	Tokens uint32
 }
 
 // Options configure an Extractor.
@@ -87,13 +92,13 @@ func (e *Extractor) File(path string, id postings.FileID) (TermBlock, error) {
 			pos++
 		})
 		terms, positions := e.seen.PairsPositions(make([]string, 0, e.seen.Len()), make([][]uint32, 0, e.seen.Len()))
-		return TermBlock{File: id, Terms: terms, Positions: positions}, nil
+		return TermBlock{File: id, Terms: terms, Positions: positions, Tokens: e.seen.Total()}, nil
 	}
 	tokenize.Scan(data, e.opts.Tokenize, func(term string) {
 		e.seen.Add(term)
 	})
 	terms, counts := e.seen.Pairs(make([]string, 0, e.seen.Len()), make([]uint32, 0, e.seen.Len()))
-	return TermBlock{File: id, Terms: terms, Counts: counts}, nil
+	return TermBlock{File: id, Terms: terms, Counts: counts, Tokens: e.seen.Total()}, nil
 }
 
 // ScanOnly reads and tokenizes the file without collecting terms — the

@@ -36,6 +36,14 @@ import (
 //	                            segment), with every posting list in the
 //	                            positional encoding (positions section after
 //	                            the frequency section)
+//	version 9 (doc lengths):    u8 kind | u8 flags | payload. Kind 0 (full
+//	                            index): file table | doc-length section |
+//	                            term section, positional iff flags bit 0.
+//	                            Kind 2 (shard manifest): file table |
+//	                            doc-length section | segment directory,
+//	                            flags 0. The doc-length section records each
+//	                            file's token length for BM25; segments stay
+//	                            v7/v8 (lengths live with the file table).
 //
 // where the file table is
 //
@@ -54,7 +62,10 @@ import (
 // guessing at the missing state (the manifest carries no posting lists, so
 // version 5 survives the frequency bump unchanged). Version 8 is opt-in
 // rather than a retirement: a build without Options.Positions still writes
-// versions 6/7, byte-identical to the pre-positions codec.
+// versions 6/7, byte-identical to the pre-positions codec. Version 9 is
+// likewise opt-in by provenance: every fresh build records token lengths
+// and persists v9, while an index loaded from a pre-v9 file has no lengths
+// to save and re-persists in its original form, byte-identical.
 //
 // A desktop search tool persists its index between sessions; this codec is
 // that persistence layer for cmd/indexgen and cmd/dsearch.
@@ -71,16 +82,27 @@ const (
 	// shard segment) followed by the corresponding v6/v7 payload with
 	// posting lists in the positional encoding.
 	PositionalVersion = 8
+	// DocLengthVersion is the doc-length form: a kind byte (full index or
+	// shard manifest), a flags byte (bit 0 = positional posting lists), and
+	// the corresponding payload with a doc-length section — each file's
+	// token length, which BM25 ranking normalizes by — directly after the
+	// file table.
+	DocLengthVersion = 9
 	// maxCount bounds file/term/posting counts against corrupt headers.
 	maxCount = 1 << 31
 )
 
-// Positional-frame kind bytes: the first payload byte of a
-// PositionalVersion frame says which v6/v7 shape follows.
+// Frame kind bytes: the first payload byte of a PositionalVersion or
+// DocLengthVersion frame says which payload shape follows.
 const (
 	kindFullIndex = 0
 	kindSegment   = 1
+	kindManifest  = 2
 )
+
+// flagPositional marks a DocLengthVersion full-index frame whose posting
+// lists use the positional encoding. All other flag bits must be zero.
+const flagPositional = 1
 
 // versionKind names each known version for error messages.
 func versionKind(v uint16) string {
@@ -93,6 +115,8 @@ func versionKind(v uint16) string {
 		return "a shard manifest"
 	case PositionalVersion:
 		return "a positional index"
+	case DocLengthVersion:
+		return "a doc-length index"
 	default:
 		return "unsupported"
 	}
@@ -237,7 +261,80 @@ func WriteFileTable(bw *bufio.Writer, files *FileTable) error {
 	return nil
 }
 
-// ReadFileTable reads the file-table payload section.
+// WriteDocLengths writes the doc-length payload section of a
+// DocLengthVersion frame: the table's per-file token lengths, tombstoned
+// slots included so the section stays parallel to the file table.
+//
+//	uvarint fileCount | fileCount × uvarint tokens
+//
+// The repeated fileCount must match the file table's; readers treat a
+// mismatch as corruption.
+func WriteDocLengths(bw *bufio.Writer, files *FileTable) error {
+	if err := WriteUvarint(bw, uint64(files.Len())); err != nil {
+		return err
+	}
+	for id := range files.Len() {
+		if err := WriteUvarint(bw, uint64(files.Tokens(postings.FileID(id)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDocLengths reads the doc-length payload section into files, which
+// must be the table read immediately before it, and marks the table as
+// carrying token lengths.
+func ReadDocLengths(br *bytes.Reader, files *FileTable) error {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("index: reading doc-length count: %w", err)
+	}
+	if count != uint64(files.Len()) {
+		return fmt.Errorf("index: doc-length count %d does not match %d files", count, files.Len())
+	}
+	for id := range files.Len() {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("index: file %d doc length: %w", id, err)
+		}
+		if n > 1<<32-1 {
+			return fmt.Errorf("index: absurd doc length %d for file %d", n, id)
+		}
+		files.SetTokens(postings.FileID(id), uint32(n))
+	}
+	files.hasTokens = true
+	return nil
+}
+
+// WriteManifestHeader writes the kind and flags bytes that open a
+// DocLengthVersion shard-manifest frame (internal/shard writes the rest of
+// the payload through this package's exported helpers).
+func WriteManifestHeader(bw *bufio.Writer) error {
+	if err := bw.WriteByte(kindManifest); err != nil {
+		return err
+	}
+	return bw.WriteByte(0)
+}
+
+// ReadManifestHeader consumes and validates the kind and flags bytes of a
+// DocLengthVersion shard-manifest frame.
+func ReadManifestHeader(br *bytes.Reader) error {
+	if err := readKind(br, kindManifest); err != nil {
+		return err
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("index: reading manifest flags: %w", err)
+	}
+	if flags != 0 {
+		return fmt.Errorf("index: unknown manifest flags %#x", flags)
+	}
+	return nil
+}
+
+// ReadFileTable reads the file-table payload section. The returned table
+// reports HasTokens false until a doc-length section is read into it —
+// pre-v9 files never recorded token lengths.
 func ReadFileTable(br *bytes.Reader) (*FileTable, error) {
 	fileCount, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -247,6 +344,7 @@ func ReadFileTable(br *bytes.Reader) (*FileTable, error) {
 		return nil, fmt.Errorf("index: absurd file count %d", fileCount)
 	}
 	files := NewFileTable()
+	files.hasTokens = false
 	for i := uint64(0); i < fileCount; i++ {
 		path, err := ReadString(br)
 		if err != nil {
@@ -341,23 +439,45 @@ func readTermSection(br *bytes.Reader, payload []byte, positional bool) (*Index,
 	return ix, nil
 }
 
-// readKind consumes and validates the kind byte of a positional (v8) frame.
+// readKind consumes and validates the kind byte of a v8/v9 frame.
 func readKind(br *bytes.Reader, want byte) error {
 	kind, err := br.ReadByte()
 	if err != nil {
 		return fmt.Errorf("index: reading frame kind: %w", err)
 	}
 	if kind != want {
-		return fmt.Errorf("index: positional frame kind %d, want %d", kind, want)
+		return fmt.Errorf("index: frame kind %d, want %d", kind, want)
 	}
 	return nil
 }
 
-// Save writes the index and its file table to w: the DSIX full-index form,
-// version 6 — or version 8 with the positional posting-list encoding when
-// the index carries token positions. Non-positional indexes produce output
-// byte-identical to the pre-positions codec.
+// Save writes the index and its file table to w. A table carrying token
+// lengths (every fresh build) persists as version 9 with the doc-length
+// section; otherwise the legacy forms apply — version 8 when the index
+// carries token positions, version 6 when not — so an index loaded from a
+// pre-v9 file re-saves byte-identically.
 func Save(w io.Writer, ix *Index, files *FileTable) error {
+	if files.HasTokens() {
+		return EncodeFrame(w, DocLengthVersion, func(bw *bufio.Writer) error {
+			if err := bw.WriteByte(kindFullIndex); err != nil {
+				return err
+			}
+			var flags byte
+			if ix.Positional() {
+				flags |= flagPositional
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+			if err := WriteFileTable(bw, files); err != nil {
+				return err
+			}
+			if err := WriteDocLengths(bw, files); err != nil {
+				return err
+			}
+			return writeTermSection(bw, ix, ix.Positional())
+		})
+	}
 	if ix.Positional() {
 		return EncodeFrame(w, PositionalVersion, func(bw *bufio.Writer) error {
 			if err := bw.WriteByte(kindFullIndex); err != nil {
@@ -377,29 +497,46 @@ func Save(w io.Writer, ix *Index, files *FileTable) error {
 	})
 }
 
-// Load reads an index written by Save — either the v6 or the positional v8
-// full-index form; the loaded index remembers which (Positional), so a
-// catalog loaded from a positional file keeps updating positionally. It
-// reads the whole stream into memory first so the checksum can be verified
-// over the exact payload before any of it is trusted.
+// Load reads an index written by Save — the v6, positional v8, or
+// doc-length v9 full-index form; the loaded index remembers which
+// (Positional, FileTable.HasTokens), so a catalog loaded from a positional
+// file keeps updating positionally and one loaded from a pre-v9 file keeps
+// re-saving in its original form. It reads the whole stream into memory
+// first so the checksum can be verified over the exact payload before any
+// of it is trusted.
 func Load(r io.Reader) (*Index, *FileTable, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("index: reading: %w", err)
 	}
-	br, payload, version, err := DecodeFrameAny(data, codecVersion, PositionalVersion)
+	br, payload, version, err := DecodeFrameAny(data, codecVersion, PositionalVersion, DocLengthVersion)
 	if err != nil {
 		return nil, nil, err
 	}
 	positional := version == PositionalVersion
-	if positional {
+	if version == PositionalVersion || version == DocLengthVersion {
 		if err := readKind(br, kindFullIndex); err != nil {
 			return nil, nil, err
 		}
 	}
+	if version == DocLengthVersion {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: reading frame flags: %w", err)
+		}
+		if flags&^flagPositional != 0 {
+			return nil, nil, fmt.Errorf("index: unknown frame flags %#x", flags)
+		}
+		positional = flags&flagPositional != 0
+	}
 	files, err := ReadFileTable(br)
 	if err != nil {
 		return nil, nil, err
+	}
+	if version == DocLengthVersion {
+		if err := ReadDocLengths(br, files); err != nil {
+			return nil, nil, err
+		}
 	}
 	ix, err := readTermSection(br, payload, positional)
 	if err != nil {

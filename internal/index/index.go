@@ -30,14 +30,25 @@ type FileTable struct {
 	paths  []string
 	sizes  []int64
 	mtimes []int64
+	// tokens[id] is the file's token length (total emitted term
+	// occurrences) — the document length BM25 normalizes by. Meaningful
+	// only while hasTokens is set.
+	tokens []uint32
 	dead   []bool // tombstones; nil-safe via Live
 	nDead  int
 	byPath map[string]postings.FileID // live paths only
+
+	// hasTokens records whether the tokens column carries real lengths.
+	// Fresh tables always do (extraction fills them in); a table loaded
+	// from a pre-v9 DSIX file never does — and never will, even across
+	// incremental updates, so BM25 fails consistently instead of scoring
+	// a mix of known and unknown lengths.
+	hasTokens bool
 }
 
 // NewFileTable returns an empty table.
 func NewFileTable() *FileTable {
-	return &FileTable{byPath: make(map[string]postings.FileID)}
+	return &FileTable{byPath: make(map[string]postings.FileID), hasTokens: true}
 }
 
 // Add appends a live file and returns its ID. mtime is the modification
@@ -47,6 +58,7 @@ func (t *FileTable) Add(path string, size, mtime int64) postings.FileID {
 	t.paths = append(t.paths, path)
 	t.sizes = append(t.sizes, size)
 	t.mtimes = append(t.mtimes, mtime)
+	t.tokens = append(t.tokens, 0)
 	t.dead = append(t.dead, false)
 	t.byPath[path] = id
 	return id
@@ -66,6 +78,33 @@ func (t *FileTable) ModTime(id postings.FileID) int64 { return t.mtimes[id] }
 func (t *FileTable) SetMeta(id postings.FileID, size, mtime int64) {
 	t.sizes[id] = size
 	t.mtimes[id] = mtime
+}
+
+// SetTokens records id's token length (extract.TermBlock.Tokens).
+// Concurrent extractors may call it for distinct IDs — each write lands in
+// its own preallocated slot, so no lock is needed during a build.
+func (t *FileTable) SetTokens(id postings.FileID, n uint32) {
+	t.tokens[id] = n
+}
+
+// Tokens returns the recorded token length for id (0 when unknown).
+func (t *FileTable) Tokens(id postings.FileID) uint32 { return t.tokens[id] }
+
+// HasTokens reports whether the table carries real token lengths — true
+// for every freshly built table, false for one loaded from a pre-v9 DSIX
+// file, whose lengths were never recorded. BM25 requires it.
+func (t *FileTable) HasTokens() bool { return t.hasTokens }
+
+// LiveTokens sums the token lengths of all live files — the corpus size
+// BM25's average document length derives from.
+func (t *FileTable) LiveTokens() uint64 {
+	var sum uint64
+	for id, n := range t.tokens {
+		if !t.dead[id] {
+			sum += uint64(n)
+		}
+	}
+	return sum
 }
 
 // Live reports whether id is a live file (not tombstoned).

@@ -55,6 +55,9 @@ func buildPositionalIndex(rng *rand.Rand, nFiles, vocab int) (*Index, *FileTable
 func TestPositionalSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	ix, ft := buildPositionalIndex(rng, 40, 25)
+	// A table without recorded token lengths (pre-v9 provenance) must keep
+	// persisting in the legacy positional form.
+	ft.hasTokens = false
 	var buf bytes.Buffer
 	if err := Save(&buf, ix, ft); err != nil {
 		t.Fatal(err)
@@ -163,10 +166,12 @@ func TestPositionalLoadRejectsCorruption(t *testing.T) {
 }
 
 func TestNonPositionalStaysV6(t *testing.T) {
-	// The byte-identical guarantee: an index built without positions still
-	// writes a v6 frame even though the codec knows v8.
+	// The byte-identical guarantee: an index built without positions — and
+	// loaded from a file predating doc lengths — still writes a v6 frame
+	// even though the codec knows v8 and v9.
 	rng := rand.New(rand.NewSource(25))
 	ix, ft := buildSampleIndex(rng, 10, 5)
+	ft.hasTokens = false
 	var buf bytes.Buffer
 	if err := Save(&buf, ix, ft); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,90 @@
+package search
+
+import (
+	"errors"
+	"math"
+
+	"desksearch/internal/postings"
+)
+
+// ErrNoDocLengths reports a BM25-ranked request against a catalog whose
+// file table carries no document lengths — one loaded from a pre-v9 DSIX
+// file. Length normalization cannot be faked; rebuild the catalog (or
+// re-save a fresh build, which always records lengths) to rank with BM25.
+var ErrNoDocLengths = errors.New("search: index built without document lengths (rebuild to run BM25 ranking)")
+
+// BM25 free parameters: the standard Robertson–Walker defaults. k1 bounds
+// term-frequency saturation, b sets how strongly scores are normalized by
+// document length.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// bm25Stats is the corpus-global half of BM25 scoring, computed once per
+// request before the partition fan-out: per-term document frequencies
+// aggregated across every partition and turned into IDFs, plus the average
+// document length of the live corpus. Partitions are document-disjoint, so
+// per-partition df values sum to the corpus df — aggregating them up front
+// is what makes a sharded catalog score bit-identically to the same corpus
+// unsharded (each document's score then accumulates from identical
+// operands in identical order inside its one owning partition).
+type bm25Stats struct {
+	// avgdl is the mean token length of the live files (1 when the corpus
+	// is empty, so the length normalization never divides by zero).
+	avgdl float64
+	// idfTerm[i] is the IDF of Query.positive[i].
+	idfTerm []float64
+	// idfPrefix[j] is the IDF of the pseudo-term for
+	// Query.scorePrefixes[j], whose df is the total length of the
+	// expansion unions — the number of (file, prefix) matches.
+	idfPrefix []float64
+}
+
+// bm25IDF is the non-negative Lucene variant of the BM25 inverse document
+// frequency: ln(1 + (N − df + 0.5) / (df + 0.5)).
+func bm25IDF(df, n int) float64 {
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// score returns one term's BM25 contribution to a document with term
+// frequency tf and token length dl:
+//
+//	idf · tf·(k1+1) / (tf + k1·(1 − b + b·dl/avgdl))
+func (s *bm25Stats) score(idf float64, tf, dl uint32) float64 {
+	t := float64(tf)
+	return idf * (t * (bm25K1 + 1)) / (t + bm25K1*(1-bm25B+bm25B*float64(dl)/s.avgdl))
+}
+
+// computeBM25Stats aggregates document frequencies across the engine's
+// partitions and derives the request's IDFs and average document length.
+// expansions are the per-partition prefix expansion unions (nil when the
+// query has none). The caller must hold the engine's read lock.
+func (e *Engine) computeBM25Stats(q *Query, expansions [][]*postings.List) *bm25Stats {
+	st := &bm25Stats{avgdl: 1}
+	n := e.files.LiveCount()
+	if total := e.files.LiveTokens(); n > 0 && total > 0 {
+		st.avgdl = float64(total) / float64(n)
+	}
+	st.idfTerm = make([]float64, len(q.positive))
+	for i, term := range q.positive {
+		df := 0
+		for _, ix := range e.indices {
+			if l := ix.Lookup(term); l != nil {
+				df += l.Len()
+			}
+		}
+		st.idfTerm[i] = bm25IDF(df, n)
+	}
+	if len(q.scorePrefixes) > 0 {
+		st.idfPrefix = make([]float64, len(q.scorePrefixes))
+		for j, ord := range q.scorePrefixes {
+			df := 0
+			for _, exp := range expansions {
+				df += exp[ord].Len()
+			}
+			st.idfPrefix[j] = bm25IDF(df, n)
+		}
+	}
+	return st
+}

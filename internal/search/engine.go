@@ -18,13 +18,20 @@ type Hit struct {
 	// distinct positive query terms the file contains (for pure
 	// conjunctions every hit scores the same, for OR queries broader
 	// matches rank higher); under RankTF it sums the positive terms'
-	// occurrence counts in the file.
-	Score int
+	// occurrence counts in the file; under RankBM25 it is the BM25
+	// relevance score (see RankBM25). Coordination and TF scores are small
+	// integers represented exactly in a float64, so the v3 float widening
+	// loses nothing for them.
+	Score float64
 	// Terms lists the positive query terms the file contains, in the
-	// query's term order — the matched-term metadata of the v2 API. Only
-	// the first 64 positive terms of a query are tracked; nil when none
-	// matched (pure NOT queries).
+	// query's term order, followed by matched prefix operators rendered in
+	// their canonical "repor*" form — the matched-term metadata of the v2
+	// API. Only the first 64 positive terms of a query are tracked; nil
+	// when none matched (pure NOT queries).
 	Terms []string
+	// Snippet is the hit's context window, present only when the request
+	// set Snippets and the file yielded one (see Snippet). nil otherwise.
+	Snippet *Snippet
 }
 
 // Engine executes queries over one or more indices sharing a file table —
@@ -178,9 +185,14 @@ func (e *Engine) lockShared() []*postings.List {
 	return e.universes
 }
 
-// hitLess is the result order: descending score, then ascending file ID.
-// It is a total order (file IDs are unique), which is what makes bounded
-// top-k retrieval return exactly the prefix a full sort would.
+// hitLess is the result order and the API's documented tie-break rule:
+// descending score under exact float64 comparison, then ascending file ID.
+// It is a total order (file IDs are unique, and scores are never NaN),
+// which is what makes bounded top-k retrieval return exactly the prefix a
+// full sort would. Exact float comparison is deterministic here because
+// every ranking accumulates per-document terms in query order within the
+// document's one owning partition, so a sharded catalog computes
+// bit-identical scores to an unsharded one.
 func hitLess(a, b Hit) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
@@ -313,40 +325,55 @@ func (e *Engine) allFiles() *postings.List {
 	return postings.FromSortedIDs(e.files.LiveIDs(nil))
 }
 
+// evalEnv is one partition's evaluation environment: the index, its NOT
+// universe, and the partition's precomputed prefix expansions (indexed by
+// prefix ordinal — see expandPrefixes).
+type evalEnv struct {
+	ctx      context.Context
+	ix       *index.Index
+	universe *postings.List
+	// prefixes[ord] is this partition's expansion union of prefix operator
+	// ord; nil when the query has no prefix operators.
+	prefixes []*postings.List
+}
+
 // eval computes the posting list of files satisfying n within one index,
 // checking ctx between evaluation steps: a canceled context makes the
 // remaining steps return empty lists immediately, so an in-flight
 // partition aborts at the next node boundary. The only evaluation error is
 // a phrase over an index without positions (ErrNoPositions), which
-// propagates up unwrapped. A termNode result may alias the index's live
-// storage: no boolean operator mutates its operands, the result is
-// consumed entirely inside queryOne while Query still holds the engine's
-// read lock (updates commit under the write lock), and the hits handed
-// back to the caller are independent structs — so the lookup stays
-// allocation-free on the hot path.
-func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List) (*postings.List, error) {
-	if ctx.Err() != nil {
+// propagates up unwrapped; over-broad prefixes fail earlier, during
+// expansion. A termNode result may alias the index's live storage: no
+// boolean operator mutates its operands, the result is consumed entirely
+// inside queryOne while Query still holds the engine's read lock (updates
+// commit under the write lock), and the hits handed back to the caller are
+// independent structs — so the lookup stays allocation-free on the hot
+// path.
+func (env *evalEnv) eval(n node) (*postings.List, error) {
+	if env.ctx.Err() != nil {
 		return &postings.List{}, nil
 	}
 	switch v := n.(type) {
 	case termNode:
-		l := ix.Lookup(v.term)
+		l := env.ix.Lookup(v.term)
 		if l == nil {
 			return &postings.List{}, nil
 		}
 		return l, nil
+	case prefixNode:
+		return env.prefixes[v.ord], nil
 	case phraseNode:
-		return evalPhrase(ix, v.terms)
+		return evalPhrase(env.ix, v.terms)
 	case andNode:
-		acc, err := eval(ctx, ix, v.kids[0], universe)
+		acc, err := env.eval(v.kids[0])
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range v.kids[1:] {
-			if acc.Len() == 0 || ctx.Err() != nil {
+			if acc.Len() == 0 || env.ctx.Err() != nil {
 				return acc, nil
 			}
-			r, err := eval(ctx, ix, k, universe)
+			r, err := env.eval(k)
 			if err != nil {
 				return nil, err
 			}
@@ -356,10 +383,10 @@ func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List)
 	case orNode:
 		acc := &postings.List{}
 		for _, k := range v.kids {
-			if ctx.Err() != nil {
+			if env.ctx.Err() != nil {
 				return acc, nil
 			}
-			r, err := eval(ctx, ix, k, universe)
+			r, err := env.eval(k)
 			if err != nil {
 				return nil, err
 			}
@@ -370,11 +397,11 @@ func eval(ctx context.Context, ix *index.Index, n node, universe *postings.List)
 		}
 		return acc, nil
 	case notNode:
-		r, err := eval(ctx, ix, v.kid, universe)
+		r, err := env.eval(v.kid)
 		if err != nil {
 			return nil, err
 		}
-		return postings.Difference(universe, r), nil
+		return postings.Difference(env.universe, r), nil
 	default:
 		return &postings.List{}, nil
 	}

@@ -1,0 +1,61 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"desksearch/internal/index"
+	"desksearch/internal/postings"
+)
+
+// MaxPrefixTerms caps how many dictionary terms one prefix operator may
+// expand to within a single partition. A short prefix over a large corpus
+// would otherwise union a huge slice of the dictionary per query; past the
+// cap the query fails with ErrPrefixTooBroad instead of degrading every
+// other caller, and the fix — lengthen the prefix — is in the error.
+const MaxPrefixTerms = 1024
+
+// ErrPrefixTooBroad reports a prefix operator that expands past
+// MaxPrefixTerms dictionary terms in some partition. Errors wrapping it
+// name the offending prefix.
+var ErrPrefixTooBroad = errors.New("search: prefix matches too many terms")
+
+// expandPrefixes precomputes one partition's expansion of every prefix
+// operator in q: for each prefix ordinal, the union of the posting lists
+// of every dictionary term carrying that prefix, with per-file occurrence
+// counts summed across the matched terms (so TF and BM25 score the
+// operator as one pseudo-term). Returns nil when the query has no prefix
+// operators. Expansion happens before evaluation fans out, which both
+// keeps the cap error independent of boolean short-circuiting and lets
+// BM25 aggregate the unions' document frequencies globally.
+func expandPrefixes(ix *index.Index, q *Query) ([]*postings.List, error) {
+	if len(q.prefixes) == 0 {
+		return nil, nil
+	}
+	out := make([]*postings.List, len(q.prefixes))
+	matches := make([]int, len(q.prefixes))
+	for i := range out {
+		out[i] = &postings.List{}
+	}
+	var broad error
+	ix.Range(func(term string, l *postings.List) bool {
+		for i, p := range q.prefixes {
+			if !strings.HasPrefix(term, p) {
+				continue
+			}
+			matches[i]++
+			if matches[i] > MaxPrefixTerms {
+				broad = fmt.Errorf("%w: %q matches over %d terms in one partition (lengthen the prefix)",
+					ErrPrefixTooBroad, p+"*", MaxPrefixTerms)
+				return false
+			}
+			out[i].Merge(l)
+		}
+		return true
+	})
+	if broad != nil {
+		return nil, broad
+	}
+	return out, nil
+}

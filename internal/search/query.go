@@ -25,6 +25,15 @@ type Query struct {
 	root node
 	// positive lists the non-negated terms, used for ranking.
 	positive []string
+	// prefixes lists every prefix operator's normalized prefix text, in
+	// parse order; prefixNode.ord indexes it, and per-partition expansions
+	// are precomputed parallel to it before evaluation fans out.
+	prefixes []string
+	// scorePrefixes lists the ordinals of the distinct non-negated
+	// prefixes (first occurrence wins), the prefix counterpart of
+	// positive: each scores as one pseudo-term appended after the positive
+	// terms, in this order.
+	scorePrefixes []int
 	// hasPhrase records whether the query contains a multi-term phrase
 	// anywhere, so evaluation can reject position-free partitions up
 	// front — before any short-circuit could otherwise skip the phrase
@@ -48,6 +57,15 @@ type notNode struct{ kid node }
 // quote parses to a plain termNode.
 type phraseNode struct{ terms []string }
 
+// prefixNode matches files containing any term that starts with prefix —
+// the trailing-wildcard operator ("repor*"), evaluated by term-dictionary
+// expansion. ord is the node's position in Query.prefixes, which indexes
+// the per-partition expansion unions.
+type prefixNode struct {
+	prefix string
+	ord    int
+}
+
 func (n termNode) String() string {
 	// The keywords double as legal index terms ("not", from input like
 	// "Not!"); rendering them bare would re-parse as the operator, so the
@@ -62,6 +80,11 @@ func (n termNode) String() string {
 }
 
 func (n phraseNode) String() string { return `"` + strings.Join(n.terms, " ") + `"` }
+
+// A prefix renders as its canonical trailing-wildcard form. Keyword
+// prefixes need no quoting: "and*" re-lexes as a prefix token, not the AND
+// operator, so Parse(q.String()) stays a fixed point.
+func (n prefixNode) String() string { return n.prefix + "*" }
 
 func (n andNode) String() string { return "(" + joinNodes(n.kids, " AND ") + ")" }
 
@@ -95,7 +118,9 @@ func (q *Query) Terms() []string { return q.positive }
 //	query  := or
 //	or     := and ("OR" and)*
 //	and    := unary+            (implicit AND)
-//	unary  := "NOT" unary | "(" or ")" | TERM | PHRASE
+//	unary  := "NOT" unary | "(" or ")" | TERM | PREFIX | PHRASE
+//	PREFIX := TERM '*'          (trailing wildcard; matches any term with
+//	                             that prefix, by dictionary expansion)
 //	PHRASE := '"' text '"'      (quoted; matches consecutive positions)
 //
 // Keywords are case-insensitive; terms — inside and outside quotes — are
@@ -103,7 +128,10 @@ func (q *Query) Terms() []string { return q.positive }
 // so "Cat!" matches the indexed term "cat". A leading '-' negates a term
 // ("-draft" ≡ "NOT draft"). A quoted phrase of one term collapses to that
 // term; evaluating a multi-term phrase requires an index built with token
-// positions (ErrNoPositions otherwise).
+// positions (ErrNoPositions otherwise). A prefix operator's text must
+// normalize to a single term ("repor*"); evaluation expands it against
+// each partition's term dictionary, failing with ErrPrefixTooBroad past
+// MaxPrefixTerms matching terms.
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {
@@ -120,9 +148,38 @@ func Parse(text string) (*Query, error) {
 	if !p.done() {
 		return nil, fmt.Errorf("search: unexpected %q", p.peek().text)
 	}
-	q := &Query{root: root, hasPhrase: containsPhrase(root)}
+	q := &Query{root: root, prefixes: p.prefixes, hasPhrase: containsPhrase(root)}
 	collectPositive(root, false, &q.positive)
+	collectScorePrefixes(root, false, q)
 	return q, nil
+}
+
+// collectScorePrefixes fills q.scorePrefixes with the ordinals of the
+// distinct non-negated prefixes, in order of first appearance — the prefix
+// analog of collectPositive's dedup.
+func collectScorePrefixes(n node, negated bool, q *Query) {
+	switch v := n.(type) {
+	case prefixNode:
+		if negated {
+			return
+		}
+		for _, ord := range q.scorePrefixes {
+			if q.prefixes[ord] == v.prefix {
+				return
+			}
+		}
+		q.scorePrefixes = append(q.scorePrefixes, v.ord)
+	case andNode:
+		for _, k := range v.kids {
+			collectScorePrefixes(k, negated, q)
+		}
+	case orNode:
+		for _, k := range v.kids {
+			collectScorePrefixes(k, negated, q)
+		}
+	case notNode:
+		collectScorePrefixes(v.kid, !negated, q)
+	}
 }
 
 func containsPhrase(n node) bool {
@@ -195,6 +252,7 @@ type tokKind int
 
 const (
 	tokTerm tokKind = iota
+	tokPrefix
 	tokPhrase
 	tokAnd
 	tokOr
@@ -259,6 +317,22 @@ func lex(text string) ([]token, error) {
 			case "NOT":
 				toks = append(toks, token{kind: tokNot, text: word})
 			default:
+				if strings.HasSuffix(word, "*") {
+					// A trailing '*' makes the word a prefix operator. The
+					// prefix text normalizes through the tokenizer like any
+					// term and must stay a single term: expansion matches
+					// whole dictionary entries, so a multi-term word
+					// ("e-mail*") has no well-defined prefix semantics.
+					terms := tokenize.Terms([]byte(strings.TrimRight(word, "*")), tokenize.Default)
+					switch {
+					case len(terms) == 0:
+						return nil, fmt.Errorf("search: prefix %q contains no searchable term", word)
+					case len(terms) > 1:
+						return nil, fmt.Errorf("search: prefix %q must be a single term", word)
+					}
+					toks = append(toks, token{kind: tokPrefix, text: terms[0]})
+					continue
+				}
 				// Normalize through the index's own tokenizer; one word
 				// of query text may carry several index terms ("e-mail").
 				terms := tokenize.Terms([]byte(word), tokenize.Default)
@@ -277,6 +351,9 @@ func lex(text string) ([]token, error) {
 type parser struct {
 	toks []token
 	pos  int
+	// prefixes accumulates each prefix operator's text in parse order;
+	// a prefixNode's ord indexes it.
+	prefixes []string
 }
 
 func (p *parser) done() bool { return p.pos >= len(p.toks) }
@@ -359,6 +436,10 @@ func (p *parser) parseUnary() (node, error) {
 		return n, nil
 	case tokTerm:
 		return termNode{term: t.text}, nil
+	case tokPrefix:
+		ord := len(p.prefixes)
+		p.prefixes = append(p.prefixes, t.text)
+		return prefixNode{prefix: t.text, ord: ord}, nil
 	case tokPhrase:
 		if len(t.terms) == 1 {
 			// A one-word "phrase" is just that word; collapsing it keeps

@@ -22,6 +22,15 @@ const (
 	// frequencies) of the positive query terms in the file, so a file
 	// that mentions a term many times outranks one that mentions it once.
 	RankTF
+	// RankBM25 scores a hit by Okapi BM25: per positive term (and per
+	// prefix operator, as one pseudo-term), an inverse-document-frequency
+	// weight from corpus-global document frequencies times a saturated,
+	// length-normalized term frequency. Requires a catalog whose file
+	// table records document lengths (every fresh build; DSIX v9 on disk)
+	// — ErrNoDocLengths otherwise. Sharded and unsharded catalogs over
+	// the same corpus produce bit-identical BM25 scores: document
+	// frequencies aggregate across partitions before scoring starts.
+	RankBM25
 )
 
 // String names the ranking mode.
@@ -31,6 +40,8 @@ func (r Ranking) String() string {
 		return "coordination"
 	case RankTF:
 		return "tf"
+	case RankBM25:
+		return "bm25"
 	default:
 		return fmt.Sprintf("Ranking(%d)", int(r))
 	}
@@ -60,6 +71,12 @@ type Request struct {
 	// compatibility path, whose callers discard it, uses this to keep the
 	// full-result Search as allocation-lean as before the redesign.
 	OmitTerms bool
+	// Snippets asks for a per-hit context window (Hit.Snippet) built from
+	// the index's token positions. Requires a positional catalog
+	// (ErrNoPositions otherwise, exactly like phrase queries) and a
+	// positive Limit — snippets are generated for the retained page only,
+	// never for an unbounded result.
+	Snippets bool
 }
 
 // PartitionStat is one partition's share of a query's work.
@@ -117,9 +134,12 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		return nil, fmt.Errorf("search: negative offset %d", req.Offset)
 	}
 	switch req.Ranking {
-	case RankCoordination, RankTF:
+	case RankCoordination, RankTF, RankBM25:
 	default:
 		return nil, fmt.Errorf("search: unknown ranking mode %d", int(req.Ranking))
+	}
+	if req.Snippets && req.Limit <= 0 {
+		return nil, fmt.Errorf("search: snippets require a positive limit")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -128,11 +148,56 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	unis := e.lockShared()
 	defer e.mu.RUnlock()
 
+	if req.Ranking == RankBM25 && !e.files.HasTokens() {
+		return nil, ErrNoDocLengths
+	}
+
+	// Prefix operators expand before evaluation fans out: the cap error
+	// must not depend on boolean short-circuiting, and BM25 needs every
+	// partition's expansion to aggregate global document frequencies.
+	var expansions [][]*postings.List
+	if len(req.Query.prefixes) > 0 {
+		expansions = make([][]*postings.List, len(e.indices))
+		expErrs := make([]error, len(e.indices))
+		if e.Parallel && len(e.indices) > 1 {
+			var wg sync.WaitGroup
+			for i, ix := range e.indices {
+				wg.Add(1)
+				go func(i int, ix *index.Index) {
+					defer wg.Done()
+					expansions[i], expErrs[i] = expandPrefixes(ix, req.Query)
+				}(i, ix)
+			}
+			wg.Wait()
+		} else {
+			for i, ix := range e.indices {
+				expansions[i], expErrs[i] = expandPrefixes(ix, req.Query)
+			}
+		}
+		// First failing partition in partition order, so the reported
+		// prefix does not vary with goroutine scheduling.
+		for _, err := range expErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var bm *bm25Stats
+	if req.Ranking == RankBM25 {
+		bm = e.computeBM25Stats(req.Query, expansions)
+	}
+
 	// Each partition only ever contributes to one page of Limit hits at
 	// Offset, so its local top Limit+Offset bound every merge outcome.
 	k := 0
 	if req.Limit > 0 {
 		k = req.Limit + req.Offset
+	}
+	exp := func(i int) []*postings.List {
+		if expansions == nil {
+			return nil
+		}
+		return expansions[i]
 	}
 	parts := make([]partResult, len(e.indices))
 	if e.Parallel && len(e.indices) > 1 {
@@ -141,7 +206,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 			wg.Add(1)
 			go func(i int, ix *index.Index) {
 				defer wg.Done()
-				parts[i] = e.queryOne(ctx, ix, unis[i], req, k)
+				parts[i] = e.queryOne(ctx, ix, unis[i], req, k, exp(i), bm)
 			}(i, ix)
 		}
 		wg.Wait()
@@ -150,7 +215,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 			if ctx.Err() != nil {
 				break
 			}
-			parts[i] = e.queryOne(ctx, ix, unis[i], req, k)
+			parts[i] = e.queryOne(ctx, ix, unis[i], req, k, exp(i), bm)
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -198,18 +263,22 @@ type scored struct {
 }
 
 // queryOne evaluates req against a single partition: match, score, filter,
-// and retain the local top k (all hits when k == 0), ranked.
-func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postings.List, req Request, k int) partResult {
+// and retain the local top k (all hits when k == 0), ranked. exp is the
+// partition's prefix expansion unions (nil without prefix operators) and bm
+// the request's global BM25 statistics (nil for other rankings).
+func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postings.List, req Request, k int, exp []*postings.List, bm *bm25Stats) partResult {
 	start := time.Now()
-	// Phrase queries are rejected on position-free partitions before
-	// evaluation, not inside it: AND's empty-accumulator short-circuit
-	// could otherwise skip the phrase node, making the error appear and
-	// disappear with term order. (evalPhrase still checks per term list,
-	// which covers partially positional lists inside a positional index.)
-	if req.Query.hasPhrase && !ix.Positional() {
+	// Phrase queries and snippets are rejected on position-free partitions
+	// before evaluation, not inside it: AND's empty-accumulator
+	// short-circuit could otherwise skip the phrase node, making the error
+	// appear and disappear with term order. (evalPhrase still checks per
+	// term list, which covers partially positional lists inside a
+	// positional index.)
+	if (req.Query.hasPhrase || req.Snippets) && !ix.Positional() {
 		return partResult{err: ErrNoPositions, dur: time.Since(start)}
 	}
-	matched, err := eval(ctx, ix, req.Query.root, universe)
+	env := &evalEnv{ctx: ctx, ix: ix, universe: universe, prefixes: exp}
+	matched, err := env.eval(req.Query.root)
 	if err != nil {
 		return partResult{err: err, dur: time.Since(start)}
 	}
@@ -217,33 +286,56 @@ func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postin
 		return partResult{dur: time.Since(start)}
 	}
 
-	// Score pass: one bounded intersection per positive term accumulates
-	// the score and the matched-term mask.
+	// Score pass: one bounded intersection per positive term — then per
+	// scored prefix pseudo-term — accumulates the score and the
+	// matched-term mask. The accumulation order (positive terms in query
+	// order, then prefixes in scorePrefixes order) is part of the API's
+	// determinism contract: BM25 adds float terms in this exact sequence,
+	// so any partitioning of the corpus produces bit-identical scores.
 	type fileScore struct {
-		score int
+		score float64
 		mask  uint64
 	}
 	scores := make(map[postings.FileID]fileScore, matched.Len())
+	accumulate := func(bit int, l *postings.List, idf float64) {
+		if l == nil {
+			return
+		}
+		postings.IntersectEach(matched, l, func(id postings.FileID, count uint32) {
+			fs := scores[id]
+			switch req.Ranking {
+			case RankBM25:
+				fs.score += bm.score(idf, count, e.files.Tokens(id))
+			case RankTF:
+				fs.score += float64(count)
+			default:
+				fs.score++
+			}
+			if bit < 64 {
+				fs.mask |= 1 << uint(bit)
+			}
+			scores[id] = fs
+		})
+	}
 	for ti, term := range req.Query.positive {
 		if ctx.Err() != nil {
 			return partResult{dur: time.Since(start)}
 		}
-		l := ix.Lookup(term)
-		if l == nil {
-			continue
+		var idf float64
+		if bm != nil {
+			idf = bm.idfTerm[ti]
 		}
-		postings.IntersectEach(matched, l, func(id postings.FileID, count uint32) {
-			fs := scores[id]
-			if req.Ranking == RankTF {
-				fs.score += int(count)
-			} else {
-				fs.score++
-			}
-			if ti < 64 {
-				fs.mask |= 1 << uint(ti)
-			}
-			scores[id] = fs
-		})
+		accumulate(ti, ix.Lookup(term), idf)
+	}
+	for pi, ord := range req.Query.scorePrefixes {
+		if ctx.Err() != nil {
+			return partResult{dur: time.Since(start)}
+		}
+		var idf float64
+		if bm != nil {
+			idf = bm.idfPrefix[pi]
+		}
+		accumulate(len(req.Query.positive)+pi, exp[ord], idf)
 	}
 
 	// Selection pass: walk the match list, filter by path prefix, and
@@ -274,32 +366,44 @@ func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postin
 		sortScored(all)
 	}
 	if len(all) > 0 {
+		labels := req.Query.positive
+		if !req.OmitTerms && len(req.Query.scorePrefixes) > 0 {
+			labels = make([]string, 0, len(req.Query.positive)+len(req.Query.scorePrefixes))
+			labels = append(labels, req.Query.positive...)
+			for _, ord := range req.Query.scorePrefixes {
+				labels = append(labels, req.Query.prefixes[ord]+"*")
+			}
+		}
 		res.hits = make([]Hit, len(all))
 		for i, s := range all {
 			h := s.hit
 			if !req.OmitTerms {
-				h.Terms = termsFromMask(req.Query.positive, s.mask)
+				h.Terms = termsFromMask(labels, s.mask)
 			}
 			res.hits[i] = h
+		}
+		if req.Snippets {
+			buildSnippets(ix, req.Query, exp, res.hits)
 		}
 	}
 	res.dur = time.Since(start)
 	return res
 }
 
-// termsFromMask expands a matched-term bitmask back into the query's
-// positive terms, preserving query order.
-func termsFromMask(positive []string, mask uint64) []string {
+// termsFromMask expands a matched-term bitmask back into the query's score
+// labels — the positive terms followed by the canonical prefix operators —
+// preserving query order.
+func termsFromMask(labels []string, mask uint64) []string {
 	if mask == 0 {
 		return nil
 	}
 	out := make([]string, 0, 4)
-	for i, term := range positive {
+	for i, label := range labels {
 		if i >= 64 {
 			break
 		}
 		if mask&(1<<uint(i)) != 0 {
-			out = append(out, term)
+			out = append(out, label)
 		}
 	}
 	return out

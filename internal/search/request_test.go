@@ -170,8 +170,8 @@ func TestQueryMatchedTerms(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, h := range resp.Hits {
-		if len(h.Terms) != h.Score {
-			t.Errorf("file %d: %d matched terms but score %d", h.File, len(h.Terms), h.Score)
+		if float64(len(h.Terms)) != h.Score {
+			t.Errorf("file %d: %d matched terms but score %g", h.File, len(h.Terms), h.Score)
 		}
 	}
 	// doc4 holds all three.
@@ -325,7 +325,7 @@ func TestTopK(t *testing.T) {
 		k := rng.Intn(20) + 1
 		all := make([]scored, n)
 		for i := range all {
-			all[i] = scored{hit: Hit{File: postings.FileID(i), Score: rng.Intn(10)}}
+			all[i] = scored{hit: Hit{File: postings.FileID(i), Score: float64(rng.Intn(10))}}
 		}
 		heap := newTopK(k)
 		for _, s := range rng.Perm(n) {
@@ -350,7 +350,7 @@ func TestTopK(t *testing.T) {
 }
 
 func TestMergePage(t *testing.T) {
-	h := func(file postings.FileID, score int) Hit {
+	h := func(file postings.FileID, score float64) Hit {
 		return Hit{File: file, Score: score}
 	}
 	parts := [][]Hit{

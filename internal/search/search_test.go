@@ -204,7 +204,7 @@ func TestScoring(t *testing.T) {
 	hits2, _ := e.SearchString("cat dog")
 	for _, h := range hits2 {
 		if h.Score != 2 {
-			t.Errorf("conjunction hit score = %d", h.Score)
+			t.Errorf("conjunction hit score = %g", h.Score)
 		}
 	}
 }
@@ -312,7 +312,7 @@ func BenchmarkSearchReplicasParallel(b *testing.B) {
 }
 
 func TestMergeRanked(t *testing.T) {
-	h := func(file postings.FileID, score int) Hit {
+	h := func(file postings.FileID, score float64) Hit {
 		return Hit{File: file, Score: score}
 	}
 	cases := []struct {

@@ -8,11 +8,17 @@
 // Endpoints:
 //
 //	GET  /search?q=...   evaluate a query (limit, offset, rank, prefix,
-//	                     timeout parameters), JSON response; q uses the
-//	                     full grammar, quoted phrases included
-//	                     (q=%22annual%20report%22 — phrase queries need a
+//	                     snippets, timeout parameters), JSON response; q
+//	                     uses the full grammar, quoted phrases and prefix
+//	                     operators included (q=%22annual%20report%22,
+//	                     q=repor* — phrase queries and snippets need a
 //	                     catalog built with positions and otherwise fail
-//	                     with 400)
+//	                     with 400). rank accepts the wire names count,
+//	                     tf, and bm25 (legacy integers still parse);
+//	                     unknown names fail with 400.
+//	GET  /suggest?q=...  autocomplete: indexed terms with the given
+//	                     prefix, ranked by document frequency (n caps
+//	                     the count, default 10)
 //	GET  /stats          catalog, server, and cache counters
 //	GET  /healthz        liveness probe
 //	POST /reload         run an incremental update (or a full rebuild
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -141,6 +148,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /suggest", s.handleSuggest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /reload", s.handleReload)
@@ -172,8 +180,24 @@ type SearchResponse struct {
 // SearchHit is one hit of /search.
 type SearchHit struct {
 	Path  string   `json:"path"`
-	Score int      `json:"score"`
+	Score float64  `json:"score"`
 	Terms []string `json:"terms,omitempty"`
+	// Snippet is present only when the request asked for snippets and the
+	// hit produced one.
+	Snippet *SnippetJSON `json:"snippet,omitempty"`
+}
+
+// SnippetJSON is the wire form of a hit's context window. Highlights are
+// half-open [start, end) byte ranges into Text.
+type SnippetJSON struct {
+	Text       string     `json:"text"`
+	Highlights []SpanJSON `json:"highlights,omitempty"`
+}
+
+// SpanJSON is one highlighted byte range of a snippet.
+type SpanJSON struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
 }
 
 // PartitionStat is one partition's share of a query's work.
@@ -298,7 +322,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Partitions: make([]PartitionStat, len(resp.Partitions)),
 	}
 	for i, h := range resp.Hits {
-		out.Hits[i] = SearchHit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+		hit := SearchHit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+		if h.Snippet != nil {
+			snip := &SnippetJSON{Text: h.Snippet.Text}
+			for _, sp := range h.Snippet.Highlights {
+				snip.Highlights = append(snip.Highlights, SpanJSON{Start: sp.Start, End: sp.End})
+			}
+			hit.Snippet = snip
+		}
+		out.Hits[i] = hit
 	}
 	for i, p := range resp.Partitions {
 		out.Partitions[i] = PartitionStat{
@@ -306,6 +338,70 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Matched:    p.Matched,
 			DurationUS: float64(p.Duration.Nanoseconds()) / 1e3,
 		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SuggestResponse is the JSON shape of /suggest.
+type SuggestResponse struct {
+	// Prefix is the normalized prefix the suggestions complete.
+	Prefix string `json:"prefix"`
+	// Generation identifies the catalog state that produced the result.
+	Generation uint64 `json:"generation"`
+	// TookMS is the server-side handling time in milliseconds.
+	TookMS float64 `json:"took_ms"`
+	// Suggestions are ranked by descending document frequency, then term.
+	Suggestions []SuggestionJSON `json:"suggestions"`
+}
+
+// SuggestionJSON is one autocomplete candidate of /suggest.
+type SuggestionJSON struct {
+	Term  string `json:"term"`
+	Files int    `json:"files"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	params := r.URL.Query()
+	prefix := params.Get("q")
+	if prefix == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	n := 10
+	if v := params.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid n %q", v)
+			return
+		}
+		n = parsed
+	}
+	if n > s.maxLim {
+		n = s.maxLim
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	gen := s.cat.Generation()
+	s.queries.Add(1)
+	sugs, err := s.cat.Suggest(ctx, prefix, n)
+	if err != nil {
+		s.queryErrors.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	out := SuggestResponse{
+		Prefix:      strings.TrimRight(prefix, "*"),
+		Generation:  gen,
+		TookMS:      float64(time.Since(start).Microseconds()) / 1e3,
+		Suggestions: make([]SuggestionJSON, len(sugs)),
+	}
+	for i, sg := range sugs {
+		out.Suggestions[i] = SuggestionJSON{Term: sg.Term, Files: sg.Files}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -358,13 +454,22 @@ func (s *Server) parseSearch(r *http.Request) (desksearch.Query, int, error) {
 		}
 		req.Offset = n
 	}
-	switch v := params.Get("rank"); v {
-	case "", "count":
-		req.Ranking = desksearch.RankCount
-	case "tf":
-		req.Ranking = desksearch.RankTF
-	default:
-		return req, http.StatusBadRequest, fmt.Errorf("unknown rank %q (want count or tf)", v)
+	if v := params.Get("rank"); v != "" {
+		// ParseRanking resolves the wire names (count, tf, bm25) and the
+		// legacy integer forms; anything else is the client's mistake, so
+		// it maps to 400, never 500.
+		rank, err := desksearch.ParseRanking(v)
+		if err != nil {
+			return req, http.StatusBadRequest, err
+		}
+		req.Ranking = rank
+	}
+	if v := params.Get("snippets"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("invalid snippets %q (want a boolean)", v)
+		}
+		req.Snippets = on
 	}
 	req.PathPrefix = params.Get("prefix")
 	return req, 0, nil
@@ -538,6 +643,9 @@ func responseSize(r *desksearch.Response) int64 {
 		size += int64(len(h.Path)) + 32
 		for _, t := range h.Terms {
 			size += int64(len(t)) + 4
+		}
+		if h.Snippet != nil {
+			size += int64(len(h.Snippet.Text)) + 16 + int64(len(h.Snippet.Highlights))*24
 		}
 	}
 	size += int64(len(r.Partitions)) * 48

@@ -16,16 +16,24 @@ import (
 
 // The sharded on-disk layout: one directory holding
 //
-//	manifest.dsix   DSIX version 3 — file table + segment directory
-//	shard-0000.dsix DSIX version 2 — shard 0's term section
+//	manifest.dsix   DSIX version 5 or 9 — file table + segment directory
+//	shard-0000.dsix DSIX version 7 or 8 — shard 0's term section
 //	shard-0001.dsix ...
 //
 // The manifest payload, inside the standard DSIX frame, is
 //
+//	u8 kind (manifest) | u8 flags     (version 9 frames only)
 //	file table (shared by all shards)
+//	doc-length section                (version 9 frames only)
 //	uvarint shardCount
 //	shardCount × (uvarint nameLen | segment file name | u64 FNV-1 checksum
 //	              of the segment file's entire contents)
+//
+// A file table carrying token lengths (every fresh build) persists as
+// version 9 with the doc-length section BM25 needs; a set loaded from a
+// pre-v9 manifest has no lengths and re-saves as version 5, byte-identical.
+// Segments are unaffected either way — doc lengths live with the file
+// table, once per set.
 //
 // Every file carries its own checksum trailer; the manifest's per-segment
 // checksums additionally pin the exact segment bytes, so a segment that was
@@ -153,9 +161,23 @@ func saveManifest(path string, s *Set, sums []uint64) error {
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	err = index.EncodeFrame(f, index.ManifestVersion, func(bw *bufio.Writer) error {
+	version := uint16(index.ManifestVersion)
+	if s.files.HasTokens() {
+		version = index.DocLengthVersion
+	}
+	err = index.EncodeFrame(f, version, func(bw *bufio.Writer) error {
+		if version == index.DocLengthVersion {
+			if err := index.WriteManifestHeader(bw); err != nil {
+				return err
+			}
+		}
 		if err := index.WriteFileTable(bw, s.files); err != nil {
 			return err
+		}
+		if version == index.DocLengthVersion {
+			if err := index.WriteDocLengths(bw, s.files); err != nil {
+				return err
+			}
 		}
 		if err := index.WriteUvarint(bw, uint64(s.Len())); err != nil {
 			return err
@@ -190,13 +212,23 @@ type manifest struct {
 }
 
 func parseManifest(data []byte) (*manifest, error) {
-	br, _, err := index.DecodeFrame(data, index.ManifestVersion)
+	br, _, version, err := index.DecodeFrameAny(data, index.ManifestVersion, index.DocLengthVersion)
 	if err != nil {
 		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	if version == index.DocLengthVersion {
+		if err := index.ReadManifestHeader(br); err != nil {
+			return nil, fmt.Errorf("shard: manifest: %w", err)
+		}
 	}
 	files, err := index.ReadFileTable(br)
 	if err != nil {
 		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	if version == index.DocLengthVersion {
+		if err := index.ReadDocLengths(br, files); err != nil {
+			return nil, fmt.Errorf("shard: manifest: %w", err)
+		}
 	}
 	shardCount, err := binary.ReadUvarint(br)
 	if err != nil {

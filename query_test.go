@@ -52,7 +52,7 @@ func shardedCatalog(t testing.TB, fs *vfs.MemFS, shards int) *Catalog {
 
 // TestQueryPaginationMatchesSearch is the acceptance property: across
 // 1/2/4/8 partitions, every page Query returns is byte-identical to the
-// corresponding slice of the old full-sort Search result, and pages are
+// corresponding slice of the unpaginated full-sort result, and pages are
 // stable (repeating a request returns the same page).
 func TestQueryPaginationMatchesSearch(t *testing.T) {
 	fs := syntheticFS(t, 200)
@@ -60,10 +60,11 @@ func TestQueryPaginationMatchesSearch(t *testing.T) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		cat := shardedCatalog(t, fs, shards)
 		for _, qs := range []string{"alpha", "beta OR gamma", "alpha -delta", "beta OR gamma OR zeta"} {
-			baseline, err := cat.Search(qs)
+			full, err := cat.Query(ctx, Query{Text: qs})
 			if err != nil {
 				t.Fatal(err)
 			}
+			baseline := full.Hits
 			for _, page := range []struct{ limit, offset int }{
 				{10, 0}, {1, 0}, {25, 13}, {10, len(baseline) - 3}, {10, len(baseline) + 10}, {0, 7},
 			} {
@@ -82,15 +83,12 @@ func TestQueryPaginationMatchesSearch(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := make([]Result, len(resp.Hits))
-				for i, h := range resp.Hits {
-					got[i] = Result{Path: h.Path, Score: h.Score}
-				}
+				got := resp.Hits
 				if len(want) == 0 {
-					want = []Result{}
+					want = []Hit{}
 				}
 				if len(got) == 0 {
-					got = []Result{}
+					got = []Hit{}
 				}
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("shards=%d %q limit=%d offset=%d:\n got %v\nwant %v",
@@ -114,7 +112,7 @@ func TestQueryPaginationMatchesSearch(t *testing.T) {
 func TestQueryCancellation(t *testing.T) {
 	fs := syntheticFS(t, 300)
 	cat := shardedCatalog(t, fs, 4)
-	if _, err := cat.Search("alpha"); err != nil { // warm universes
+	if _, err := cat.Query(context.Background(), Query{Text: "alpha"}); err != nil { // warm universes
 		t.Fatal(err)
 	}
 	before := runtime.NumGoroutine()
@@ -372,7 +370,7 @@ func TestSearchQueryDefaultsAgree(t *testing.T) {
 					shards, q, len(v1), len(v2.Hits), v2.Total)
 			}
 			for i := range v1 {
-				if v1[i].Path != v2.Hits[i].Path || v1[i].Score != v2.Hits[i].Score {
+				if v1[i].Path != v2.Hits[i].Path || float64(v1[i].Score) != v2.Hits[i].Score {
 					t.Fatalf("shards=%d %q hit %d: Search %+v vs Query %+v",
 						shards, q, i, v1[i], v2.Hits[i])
 				}
@@ -419,6 +417,8 @@ func TestQueryNormalize(t *testing.T) {
 		"limit":           {Text: "cat dog", Limit: 10},
 		"offset":          {Text: "cat dog", Offset: 5},
 		"ranking":         {Text: "cat dog", Ranking: RankTF},
+		"bm25 ranking":    {Text: "cat dog", Ranking: RankBM25},
+		"snippets":        {Text: "cat dog", Snippets: true},
 		"prefix":          {Text: "cat dog", PathPrefix: "docs/"},
 	} {
 		_, k, err := other.Normalize()
@@ -472,7 +472,13 @@ func TestNormalizeKeyInjective(t *testing.T) {
 		{Text: "cat dog", PathPrefix: "a\x00prefix=1:a"},
 		{Text: "cat dog", Limit: 10, Offset: 5, PathPrefix: "p\x00rank=1"},
 		{Text: "cat dog", Limit: 10, Offset: 5, Ranking: RankTF, PathPrefix: "p"},
-		{Text: `"cat dog"`}, // phrase ≠ conjunction in the key
+		{Text: `"cat dog"`},                                 // phrase ≠ conjunction in the key
+		{Text: "cat dog", Ranking: RankBM25},                // each rank name keys separately
+		{Text: "cat dog", Snippets: true, Limit: 1},         // snippet flag keys separately
+		{Text: "cat dog", Limit: 1},                         // ...from the plain limited request
+		{Text: "cat do*"},                                   // prefix operator ≠ the term
+		{Text: "cat dog", PathPrefix: "p\x00snippets=true"}, // crafted prefix can't fake the flag
+		{Text: "cat dog", Snippets: true, PathPrefix: "p"},
 	}
 	keys := map[string]int{}
 	for i, q := range requests {
@@ -492,6 +498,18 @@ func TestNormalizeKeyInjective(t *testing.T) {
 	}
 	if !strings.Contains(key, "prefix=5:docs/") {
 		t.Errorf("key %q does not length-prefix the PathPrefix field", key)
+	}
+	// The ranking is keyed by wire name (survives enum renumbering) and
+	// the snippet flag is always present.
+	if !strings.Contains(key, "rank=count") || !strings.Contains(key, "snippets=false") {
+		t.Errorf("key %q does not carry the rank name and snippet flag", key)
+	}
+	_, key, err = (Query{Text: "cat", Ranking: RankBM25, Snippets: true, Limit: 3}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(key, "rank=bm25") || !strings.Contains(key, "snippets=true") {
+		t.Errorf("key %q does not carry rank=bm25 and snippets=true", key)
 	}
 }
 
