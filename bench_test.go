@@ -22,6 +22,7 @@ package desksearch
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -385,9 +386,9 @@ func BenchmarkAblationParallelSearch(b *testing.B) {
 	query := search.MustParse(fmt.Sprintf("%s OR %s OR (%s -%s)", vocab[0], vocab[1], vocab[2], vocab[3]))
 
 	singleEngine := search.NewEngine(res.Files, joined)
-	multiSeq := search.NewEngine(res.Files, res.Replicas...)
+	multiSeq := search.NewEngine(res.Files, index.Partitions(res.Replicas)...)
 	multiSeq.Parallel = false
-	multiPar := search.NewEngine(res.Files, res.Replicas...)
+	multiPar := search.NewEngine(res.Files, index.Partitions(res.Replicas)...)
 
 	// Warm the per-engine universes outside the timed region.
 	singleEngine.Search(query)
@@ -453,7 +454,7 @@ func BenchmarkShardedSearch(b *testing.B) {
 	for _, n := range shardCounts {
 		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
 			res := buildShards(b, n)
-			eng := search.NewEngine(res.Files, res.Shards.Shards()...)
+			eng := search.NewEngine(res.Files, index.Partitions(res.Shards.Shards())...)
 			eng.Search(query) // warm the per-shard universes
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -498,6 +499,60 @@ func BenchmarkShardedLoad(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- cold open: eager materialize vs lazy dictionary-only ----
+
+// coldDir saves the top-k corpus' 4-shard catalog to disk once and keeps
+// the directory for the process lifetime (not b.TempDir: -count reruns
+// the benchmark after that cleanup would have deleted the fixture).
+var (
+	coldOnce sync.Once
+	coldDir  string
+)
+
+func coldOpenDir(b *testing.B) string {
+	b.Helper()
+	coldOnce.Do(func() {
+		cat, _ := topkCatalog(b)
+		dir, err := os.MkdirTemp("", "desksearch-coldopen-")
+		if err != nil {
+			panic(err)
+		}
+		if err := cat.SaveDir(dir); err != nil {
+			panic(err)
+		}
+		coldDir = dir
+	})
+	return coldDir
+}
+
+// BenchmarkColdOpen measures catalog cold start from a saved 4-shard
+// directory: LoadDir decodes and materializes every posting list up
+// front, OpenDir reads only the term dictionaries and maps posting data
+// for on-demand decode (DSIX v10). The gap is the lazy backend's reason
+// to exist; the bench gate pins both arms and their ratio (see
+// bench_baseline.json).
+func BenchmarkColdOpen(b *testing.B) {
+	dir := coldOpenDir(b)
+	b.Run("load-dir", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadDir(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("open-dir", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cat, err := OpenDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cat.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- incremental update vs full rebuild ----

@@ -6,6 +6,7 @@
 //
 //	dsearchd -root DIR [-shards N] [-formats] [flags]
 //	dsearchd -index PATH [-root DIR] [flags]
+//	dsearchd -index DIR -lazy [flags]
 //
 // -root builds the index at startup; -index loads a saved one (a single
 // index file or a sharded directory as written by indexgen). With both,
@@ -13,6 +14,12 @@
 // it on an interval, and POST /reload updates on demand — both run the
 // incremental delta pipeline and atomically invalidate the query cache,
 // so no request is ever answered from a stale generation.
+//
+// -lazy serves a sharded directory without materializing it: startup reads
+// only the term dictionaries, and posting data is mapped and decoded per
+// query (see desksearch.OpenDir). The catalog is read-only — -lazy
+// conflicts with -root and -watch — and /stats reports open_mode "lazy"
+// with the per-partition resident-byte estimates.
 //
 // Endpoints:
 //
@@ -45,6 +52,7 @@ func main() {
 		root         = flag.String("root", "", "directory to index at startup (and to watch for changes)")
 		shards       = flag.Int("shards", 0, "with -root, partition the index into N document shards")
 		formats      = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
+		lazy         = flag.Bool("lazy", false, "with -index DIR, serve segment files lazily (mmap + on-demand decode) instead of loading them into memory; the catalog is read-only")
 		watch        = flag.Duration("watch", 0, "poll -root for changes on this interval (0 = off)")
 		cacheEntries = flag.Int("cache-entries", 1024, "query cache entry bound (negative disables the cache)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "query cache byte budget")
@@ -60,8 +68,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsearchd: -watch needs -root to poll")
 		os.Exit(2)
 	}
+	if *lazy {
+		// A lazy catalog is read-only: it cannot absorb incremental
+		// updates, so every way of asking for them is a flag conflict.
+		switch {
+		case *indexPath == "":
+			fmt.Fprintln(os.Stderr, "dsearchd: -lazy needs -index DIR (a sharded index directory)")
+			os.Exit(2)
+		case *root != "":
+			fmt.Fprintln(os.Stderr, "dsearchd: -lazy serves a read-only catalog; it cannot watch or update -root")
+			os.Exit(2)
+		}
+	}
 
-	opts := desksearch.Options{Formats: *formats, Shards: *shards}
+	opts := desksearch.Options{Formats: *formats, Shards: *shards, Lazy: *lazy}
 	var (
 		cat *desksearch.Catalog
 		err error
@@ -76,9 +96,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("dsearchd: %v", err)
 	}
+	mode := "heap"
+	if cat.Lazy() {
+		mode = "lazy"
+	}
 	st := cat.Stats()
-	log.Printf("catalog ready in %s: %d files, %d terms, %d postings, %d partition(s)",
-		time.Since(start).Round(time.Millisecond), st.Files, st.Terms, st.Postings, cat.Indices())
+	log.Printf("catalog ready in %s (%s): %d files, %d terms, %d postings, %d partition(s)",
+		time.Since(start).Round(time.Millisecond), mode, st.Files, st.Terms, st.Postings, cat.Indices())
 
 	cfg := server.Config{
 		Catalog:      cat,
@@ -122,7 +146,8 @@ func main() {
 
 // loadIndex reads a catalog from path: a sharded index directory when path
 // is a directory, a single index file otherwise. The build options ride
-// along so incremental updates re-extract consistently.
+// along so incremental updates re-extract consistently; with Options.Lazy
+// a directory is opened in place rather than materialized.
 func loadIndex(path string, opts desksearch.Options) (*desksearch.Catalog, error) {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -130,6 +155,9 @@ func loadIndex(path string, opts desksearch.Options) (*desksearch.Catalog, error
 	}
 	if info.IsDir() {
 		return desksearch.LoadDir(path, opts)
+	}
+	if opts.Lazy {
+		return nil, fmt.Errorf("-lazy needs a sharded index directory, and %s is a file", path)
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -51,7 +51,7 @@ func main() {
 		z       = flag.Int("z", 0, "index-join threads (join only)")
 		shards  = flag.Int("shards", 0, "partition the index into N document shards (0 = off)")
 		formats = flag.Bool("formats", false, "strip HTML/WP markup before indexing")
-		pos     = flag.Bool("positions", false, "record token positions (enables quoted phrase queries; larger index, DSIX v8)")
+		pos     = flag.Bool("positions", false, "record token positions (enables quoted phrase queries; larger index, DSIX v8 single-file / v10 segments)")
 		save    = flag.String("save", "", "write the built index to this path (a directory with -shards)")
 		stages  = flag.Bool("stages", false, "measure isolated sequential stage times (paper Table 1) and exit")
 		update  = flag.Bool("update", false, "incrementally update the saved catalog under -save against -root instead of rebuilding")

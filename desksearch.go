@@ -2,6 +2,7 @@ package desksearch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -63,6 +64,12 @@ type Options struct {
 	// (docs/FORMAT.md). Phrase queries against a catalog built without
 	// positions fail with a clear error instead of guessing adjacency.
 	Positions bool
+	// Lazy, honored only by LoadDir, opens the directory lazily (see
+	// OpenDir) instead of materializing it: queries read posting data
+	// straight off the segment files, so startup is proportional to the
+	// term dictionaries, not the postings, and the catalog is read-only.
+	// Ignored by the indexing entry points.
+	Lazy bool
 }
 
 // validate rejects option values that would misbehave downstream, with a
@@ -374,10 +381,21 @@ type Stats struct {
 type Catalog struct {
 	result *core.Result
 	engine *search.Engine
+	// lazy, when non-nil, is the open segment-reader set behind a catalog
+	// opened with OpenDir (or LoadDir with Options.Lazy). Such a catalog
+	// is read-only: the mutating surface (Save, SaveDir, Apply, Update)
+	// returns ErrReadOnly, and Close must be called to release the
+	// mappings.
+	lazy *shard.LazySet
 	// updateMu serializes Update/Apply against each other; the engine's
 	// read-write lock already serializes them against queries.
 	updateMu sync.Mutex
 }
+
+// ErrReadOnly is returned by the mutating methods of a lazily opened
+// catalog. Re-index, or load the directory eagerly with LoadDir, to get a
+// writable catalog.
+var ErrReadOnly = errors.New("desksearch: lazily opened catalog is read-only (use LoadDir to load it eagerly)")
 
 // IndexDir indexes every file under dir on the host filesystem.
 func IndexDir(dir string, opt Options) (*Catalog, error) {
@@ -402,8 +420,18 @@ func IndexFS(fsys vfs.FS, root string, opt Options) (*Catalog, error) {
 func newCatalog(res *core.Result) *Catalog {
 	return &Catalog{
 		result: res,
-		engine: search.NewEngine(res.Files, res.Indexes()...),
+		engine: search.NewEngine(res.Files, index.Partitions(res.Indexes())...),
 	}
+}
+
+// partitionsLocked returns the catalog's query partitions. Callers must
+// hold the engine's read or write lock (View, Maintain, or a Swap
+// callback), which is what keeps result/lazy coherent.
+func (c *Catalog) partitionsLocked() []index.Partition {
+	if c.lazy != nil {
+		return c.lazy.Partitions()
+	}
+	return index.Partitions(c.result.Indexes())
 }
 
 // Search runs a boolean query and returns every hit ordered by score: a
@@ -518,11 +546,16 @@ func (c *Catalog) Suggest(ctx context.Context, prefix string, n int) ([]Suggesti
 func (c *Catalog) Stats() Stats {
 	var out Stats
 	c.engine.View(func() {
-		s := c.result.Stats()
+		var postings int64
+		if c.lazy != nil {
+			postings = c.lazy.Stats().Postings
+		} else {
+			postings = c.result.Stats().Postings
+		}
 		out = Stats{
 			Files:    c.result.Files.LiveCount(),
-			Terms:    index.DistinctTermsAcross(c.result.Indexes()),
-			Postings: s.Postings,
+			Terms:    index.DistinctTermsAcross(c.partitionsLocked()),
+			Postings: postings,
 			Skipped:  len(c.result.SkippedFiles),
 		}
 	})
@@ -550,18 +583,70 @@ func (c *Catalog) Generation() uint64 { return c.engine.Generation() }
 func (c *Catalog) Swap(other *Catalog) {
 	c.updateMu.Lock()
 	defer c.updateMu.Unlock()
-	res := other.result
-	c.engine.Swap(res.Files, res.Indexes(), func() {
+	res, lz := other.result, other.lazy
+	parts := index.Partitions(res.Indexes())
+	if lz != nil {
+		parts = lz.Partitions()
+	}
+	var old *shard.LazySet
+	c.engine.Swap(res.Files, parts, func() {
+		old = c.lazy
 		c.result = res
+		c.lazy = lz
 	})
+	// The swap drained in-flight queries (it holds the engine's write
+	// lock), so a displaced lazy set has no remaining readers and its
+	// mappings can go. Lists already handed out stay valid — decoding
+	// copies out of the mapping.
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Close releases the file mappings and handles of a lazily opened catalog
+// after draining in-flight queries; the catalog must not be queried
+// afterwards. On eagerly loaded catalogs it is a no-op, so callers can
+// defer it unconditionally.
+func (c *Catalog) Close() error {
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	if c.lazy == nil { // writes to c.lazy all hold updateMu
+		return nil
+	}
+	var err error
+	c.engine.Maintain(func() {
+		err = c.lazy.Close()
+		c.lazy = nil
+	})
+	return err
+}
+
+// Lazy reports whether the catalog was opened lazily (posting data served
+// from segment files on demand) rather than materialized on the heap.
+func (c *Catalog) Lazy() bool {
+	var lazy bool
+	c.engine.View(func() { lazy = c.lazy != nil })
+	return lazy
+}
+
+// PartitionBytes returns each partition's estimated resident heap bytes,
+// in partition order: full posting storage for heap partitions, dictionary
+// plus cached blocks for lazy ones. It is an estimate for observability
+// (the server's /stats), not an accounting guarantee.
+func (c *Catalog) PartitionBytes() []int64 {
+	return c.engine.ResidentBytes()
 }
 
 // Shards reports how many document shards the catalog holds; 0 for
-// unsharded catalogs.
+// unsharded catalogs. A lazily opened directory is always sharded — its
+// segment count is the answer.
 func (c *Catalog) Shards() int {
 	var n int
 	c.engine.View(func() {
-		if c.result.Shards != nil {
+		switch {
+		case c.lazy != nil:
+			n = c.lazy.Len()
+		case c.result.Shards != nil:
 			n = c.result.Shards.Len()
 		}
 	})
@@ -598,7 +683,7 @@ func (c *Catalog) TopTerms(n int) []TermCount {
 	}
 	var out []TermCount
 	c.engine.View(func() {
-		top := index.TopTermsAcross(c.result.Indexes(), n)
+		top := index.TopTermsAcross(c.partitionsLocked(), n)
 		out = make([]TermCount, len(top))
 		for i, tc := range top {
 			out[i] = TermCount{Term: tc.Term, Files: tc.Files}
@@ -614,6 +699,10 @@ func (c *Catalog) TopTerms(n int) []TermCount {
 func (c *Catalog) Save(w io.Writer) error {
 	var err error
 	c.engine.View(func() {
+		if c.lazy != nil {
+			err = ErrReadOnly
+			return
+		}
 		ix := c.result.Index
 		if ix == nil {
 			parts := c.result.Indexes()
@@ -683,6 +772,10 @@ func (c *Catalog) SaveDir(dir string) error {
 	defer c.updateMu.Unlock()
 	var err error
 	c.engine.View(func() {
+		if c.lazy != nil {
+			err = ErrReadOnly
+			return
+		}
 		set := c.result.Shards
 		if set == nil {
 			set = shard.FromReplicas(c.result.Files, c.result.Indexes())
@@ -699,6 +792,9 @@ func (c *Catalog) SaveDir(dir string) error {
 // dirtied. Like Load, pass the build's Options if it used non-default
 // extraction, so updates re-extract consistently.
 func LoadDir(dir string, opt ...Options) (*Catalog, error) {
+	if len(opt) > 0 && opt[0].Lazy {
+		return OpenDir(dir, opt...)
+	}
 	cfg, err := loadedConfig(opt)
 	if err != nil {
 		return nil, err
@@ -716,6 +812,53 @@ func LoadDir(dir string, opt ...Options) (*Catalog, error) {
 		Files:          set.Files(),
 		Shards:         set,
 	}), nil
+}
+
+// OpenDir opens a sharded catalog directory lazily: only the manifest and
+// each segment's term dictionary are read up front — never the posting
+// data — so cold start is proportional to the vocabulary, not the corpus.
+// Queries then page posting blocks in on demand (memory-mapped on linux,
+// positioned reads elsewhere), verify them against their per-block
+// checksums, and keep hot terms in a bounded cache shared across shards.
+// Every query answers bit-identically to the same catalog loaded with
+// LoadDir.
+//
+// The returned catalog is read-only — Save, SaveDir, Apply, and Update
+// return ErrReadOnly — and holds open file mappings until Close (Swap to a
+// replacement catalog also releases them, which is how dsearchd reloads).
+// Directories whose segments predate the DSIX v10 lazy format cannot be
+// served in place; OpenDir falls back to an eager LoadDir of them
+// (Catalog.Lazy reports which mode resulted), and a re-save from any
+// writable catalog upgrades the directory.
+func OpenDir(dir string, opt ...Options) (*Catalog, error) {
+	cfg, err := loadedConfig(opt)
+	if err != nil {
+		return nil, err
+	}
+	set, err := shard.OpenDir(dir, 0)
+	if err != nil {
+		if errors.Is(err, shard.ErrNotLazy) {
+			var eager []Options
+			if len(opt) > 0 {
+				o := opt[0]
+				o.Lazy = false
+				eager = []Options{o}
+			}
+			return LoadDir(dir, eager...)
+		}
+		return nil, err
+	}
+	cfg.Extract.Positions = set.Positional()
+	res := &core.Result{
+		Implementation: core.ReplicatedSearch,
+		Config:         cfg,
+		Files:          set.Files(),
+	}
+	return &Catalog{
+		result: res,
+		engine: search.NewEngine(set.Files(), set.Partitions()...),
+		lazy:   set,
+	}, nil
 }
 
 // Changeset is a tree diff computed by Catalog.Diff and consumed by
@@ -756,6 +899,9 @@ func (c *Catalog) Diff(fsys vfs.FS, root string) (*Changeset, error) {
 func (c *Catalog) Apply(fsys vfs.FS, cs *Changeset) (UpdateStats, error) {
 	c.updateMu.Lock()
 	defer c.updateMu.Unlock()
+	if c.lazy != nil {
+		return UpdateStats{}, ErrReadOnly
+	}
 	return c.applyLocked(fsys, cs)
 }
 
@@ -765,6 +911,9 @@ func (c *Catalog) Apply(fsys vfs.FS, cs *Changeset) (UpdateStats, error) {
 func (c *Catalog) Update(fsys vfs.FS, root string) (UpdateStats, error) {
 	c.updateMu.Lock()
 	defer c.updateMu.Unlock()
+	if c.lazy != nil {
+		return UpdateStats{}, ErrReadOnly
+	}
 	cs, err := c.Diff(fsys, root)
 	if err != nil {
 		return UpdateStats{}, err

@@ -139,7 +139,7 @@ func applyAll(t *testing.T, fs vfs.FS, res *core.Result) Stats {
 // differ between an updated and a rebuilt index, paths and scores must not.
 func searchSet(t *testing.T, files *index.FileTable, parts []*index.Index, query string) []string {
 	t.Helper()
-	e := search.NewEngine(files, parts...)
+	e := search.NewEngine(files, index.Partitions(parts)...)
 	hits, err := e.SearchString(query)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"desksearch/internal/extract"
+	"desksearch/internal/index"
 	"desksearch/internal/search"
 )
 
@@ -20,7 +21,7 @@ import (
 func TestApplyDuringConcurrentQuery(t *testing.T) {
 	fs := seedFS(t)
 	res := build(t, fs, 2)
-	engine := search.NewEngine(res.Files, res.Indexes()...)
+	engine := search.NewEngine(res.Files, index.Partitions(res.Indexes())...)
 	target := Target{Files: res.Files, Partitions: res.Indexes()}
 	if set := res.Shards; set != nil {
 		target.OnDirty = set.MarkDirty

@@ -88,6 +88,11 @@ const (
 	// token length, which BM25 ranking normalizes by — directly after the
 	// file table.
 	DocLengthVersion = 9
+	// LazySegmentVersion is the lazy shard-segment form (internal/segment):
+	// a sorted, checksummed term dictionary pointing into per-term posting
+	// blocks, openable in O(dictionary) and decoded on demand. It is not a
+	// single-checksum frame like the versions above — see docs/FORMAT.md.
+	LazySegmentVersion = 10
 	// maxCount bounds file/term/posting counts against corrupt headers.
 	maxCount = 1 << 31
 )
@@ -117,6 +122,8 @@ func versionKind(v uint16) string {
 		return "a positional index"
 	case DocLengthVersion:
 		return "a doc-length index"
+	case LazySegmentVersion:
+		return "a lazy shard segment"
 	default:
 		return "unsupported"
 	}
@@ -172,6 +179,16 @@ func DecodeFrameAny(data []byte, wantVersions ...uint16) (*bytes.Reader, []byte,
 	payload, trailer := data[:len(data)-8], data[len(data)-8:]
 	want := binary.LittleEndian.Uint64(trailer)
 	if got := fnv.Hash64Bytes(payload); got != want {
+		// A LazySegmentVersion file is not a trailer-checksummed frame, so
+		// it lands here rather than at the version check below; peeking the
+		// header (without trusting anything in it) turns a baffling
+		// checksum complaint into the version mismatch it actually is.
+		if string(data[:len(codecMagic)]) == codecMagic {
+			if v := binary.LittleEndian.Uint16(data[len(codecMagic):]); v == LazySegmentVersion {
+				return nil, nil, 0, fmt.Errorf("index: version %d is %s, want %s",
+					v, versionKind(v), versionKind(wantVersions[0]))
+			}
+		}
 		return nil, nil, 0, fmt.Errorf("index: checksum mismatch: file %#x, computed %#x", want, got)
 	}
 	br := bytes.NewReader(payload)

@@ -116,17 +116,17 @@ func TestTopTermsAcrossMatchesJoin(t *testing.T) {
 	joined := JoinAll([]*Index{parts[0].Clone(), parts[1].Clone(), parts[2].Clone()})
 
 	for _, n := range []int{1, 3, 10} {
-		got := TopTermsAcross(parts, n)
+		got := TopTermsAcross(Partitions(parts), n)
 		want := joined.TopTerms(n)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("n=%d: TopTermsAcross = %v, join = %v", n, got, want)
 		}
 	}
-	if TopTermsAcross(parts, 0) != nil || TopTermsAcross(nil, 3) != nil {
+	if TopTermsAcross(Partitions(parts), 0) != nil || TopTermsAcross(nil, 3) != nil {
 		t.Error("degenerate TopTermsAcross not nil")
 	}
 	// Single partition takes the direct path.
-	if got := TopTermsAcross(parts[:1], 2); !reflect.DeepEqual(got, parts[0].TopTerms(2)) {
+	if got := TopTermsAcross(Partitions(parts[:1]), 2); !reflect.DeepEqual(got, parts[0].TopTerms(2)) {
 		t.Errorf("single-partition path diverged: %v", got)
 	}
 }

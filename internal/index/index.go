@@ -11,6 +11,7 @@ package index
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"desksearch/internal/container"
@@ -164,6 +165,17 @@ type Index struct {
 	// codec writes (v8 vs v6/v7 — see docs/FORMAT.md) and whether
 	// incremental updates re-extract changed files positionally.
 	positional bool
+
+	// sortMu guards the lazily built sorted dictionary cache backing
+	// Range/Terms/TermsFrom: the ascending term list plus, parallel to
+	// it, each term's posting-list pointer — so a dictionary walk costs
+	// no per-term hash lookup. Concurrent readers may race to build it
+	// (the engine's read lock admits many queries at once); mutators
+	// that change the term set, or swap a term's list pointer
+	// (RemoveFiles), drop it. nil sorted means stale.
+	sortMu      sync.Mutex
+	sorted      []string
+	sortedLists []*postings.List
 }
 
 // New returns an empty index sized for about capacity terms.
@@ -177,6 +189,7 @@ func New(capacity int) *Index {
 // non-nil, carries the per-term occurrence frequency parallel to terms
 // (extract.TermBlock.Counts); nil records every term with frequency 1.
 func (ix *Index) AddBlock(id postings.FileID, terms []string, counts []uint32) {
+	defer ix.invalidateSortedOnGrowth(ix.terms.Len())
 	for i, term := range terms {
 		l := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
 		if counts == nil {
@@ -195,6 +208,7 @@ func (ix *Index) AddBlock(id postings.FileID, terms []string, counts []uint32) {
 // derived from it, so TF ranking needs no separate count. Marks the index
 // positional.
 func (ix *Index) AddBlockPositional(id postings.FileID, terms []string, positions [][]uint32) {
+	defer ix.invalidateSortedOnGrowth(ix.terms.Len())
 	ix.positional = true
 	for i, term := range terms {
 		l := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
@@ -218,6 +232,7 @@ func (ix *Index) SetPositional() { ix.positional = true }
 // the posting list's sorted insert performs the duplicate check the paper's
 // analysis wanted to avoid.
 func (ix *Index) AddTermOccurrence(term string, id postings.FileID) {
+	defer ix.invalidateSortedOnGrowth(ix.terms.Len())
 	l := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
 	before := l.Len()
 	l.Add(id)
@@ -236,19 +251,129 @@ func (ix *Index) Lookup(term string) *postings.List {
 	return l
 }
 
+// DocFreq returns term's document frequency (its posting-list length), or
+// 0 if the term is absent.
+func (ix *Index) DocFreq(term string) int {
+	if l := ix.Lookup(term); l != nil {
+		return l.Len()
+	}
+	return 0
+}
+
 // NumTerms returns the number of distinct terms.
 func (ix *Index) NumTerms() int { return ix.terms.Len() }
 
 // NumPostings returns the number of (term, file) pairs.
 func (ix *Index) NumPostings() int64 { return ix.nPostings }
 
-// Range calls f for every (term, postings) pair until f returns false.
-func (ix *Index) Range(f func(term string, l *postings.List) bool) {
-	ix.terms.Range(f)
+// invalidateSortedOnGrowth drops the sorted-term cache if the term count
+// no longer matches before — the count captured when a mutator started.
+// Mutators that only rewrite posting lists of existing terms keep the
+// cache; ones that add or drop terms invalidate it.
+func (ix *Index) invalidateSortedOnGrowth(before int) {
+	if ix.terms.Len() == before {
+		return
+	}
+	ix.invalidateSorted()
 }
 
-// Terms appends all terms to dst (unspecified order) and returns it.
-func (ix *Index) Terms(dst []string) []string { return ix.terms.Keys(dst) }
+// invalidateSorted drops the sorted dictionary cache unconditionally.
+func (ix *Index) invalidateSorted() {
+	ix.sortMu.Lock()
+	ix.sorted, ix.sortedLists = nil, nil
+	ix.sortMu.Unlock()
+}
+
+// sortedDict returns the ascending term list and, parallel to it, each
+// term's posting-list pointer, building both on first use after an
+// invalidation. List pointers are stable between invalidations (in-place
+// mutators keep them; RemoveFiles, the one mutator that swaps a list,
+// invalidates), so iterating the pair avoids a hash lookup per term —
+// the cost that dominates full-dictionary scans. Safe for concurrent
+// readers; callers must not modify the returned slices.
+func (ix *Index) sortedDict() ([]string, []*postings.List) {
+	ix.sortMu.Lock()
+	defer ix.sortMu.Unlock()
+	if ix.sorted == nil {
+		keys := ix.terms.Keys(make([]string, 0, ix.terms.Len()))
+		sort.Strings(keys)
+		lists := make([]*postings.List, len(keys))
+		for i, term := range keys {
+			lists[i], _ = ix.terms.Get(term)
+		}
+		ix.sorted, ix.sortedLists = keys, lists
+	}
+	return ix.sorted, ix.sortedLists
+}
+
+// sortedTerms returns the ascending term list of sortedDict.
+func (ix *Index) sortedTerms() []string {
+	terms, _ := ix.sortedDict()
+	return terms
+}
+
+// Range calls f for every (term, postings) pair in ascending term order
+// until f returns false. Sorted order is a documented guarantee (since the
+// Partition refactor): it makes prefix expansion, suggestions, and the
+// on-disk term section deterministic across runs and identical across
+// storage backends. The index must not gain or lose terms during Range.
+func (ix *Index) Range(f func(term string, l *postings.List) bool) {
+	terms, lists := ix.sortedDict()
+	for i, term := range terms {
+		if !f(term, lists[i]) {
+			return
+		}
+	}
+}
+
+// TermsFrom calls yield for every term >= from in ascending order with its
+// document frequency, until yield returns false — the dictionary-range
+// primitive of the Partition interface. The seek is a binary search over
+// the sorted term cache.
+func (ix *Index) TermsFrom(from string, yield func(term string, df int) bool) {
+	terms, lists := ix.sortedDict()
+	i := sort.SearchStrings(terms, from)
+	for ; i < len(terms); i++ {
+		if !yield(terms[i], lists[i].Len()) {
+			return
+		}
+	}
+}
+
+// Terms appends all terms to dst in ascending order and returns it.
+func (ix *Index) Terms(dst []string) []string {
+	return append(dst, ix.sortedTerms()...)
+}
+
+// Docs returns the set of files this index holds postings for, as a fresh
+// pure-ID list (term frequencies are never copied — NOT evaluation, the
+// consumer, reads only IDs).
+func (ix *Index) Docs() *postings.List {
+	u := &postings.List{}
+	ix.terms.Range(func(_ string, l *postings.List) bool {
+		u.Merge(postings.FromSortedIDs(l.IDs()))
+		return true
+	})
+	return u
+}
+
+// ResidentBytes estimates the index's heap footprint: per-term map-entry
+// and string bytes plus posting and position storage. An observability
+// estimate, not an allocator measurement.
+func (ix *Index) ResidentBytes() int64 {
+	var b int64
+	ix.terms.Range(func(term string, l *postings.List) bool {
+		b += int64(len(term)) + 48 // entry, header, list overheads
+		b += int64(l.Len()) * 8    // id + count columns
+		if l.HasPositions() {
+			for i := 0; i < l.Len(); i++ {
+				b += int64(len(l.PositionsAt(i))) * 4
+			}
+		}
+		return true
+	})
+	return b
+}
 
 // Join destructively merges other into ix ("Join Forces"): every posting
 // list of other is united with ix's. other must not be used afterwards.
@@ -256,6 +381,7 @@ func (ix *Index) Join(other *Index) {
 	if other == nil {
 		return
 	}
+	defer ix.invalidateSortedOnGrowth(ix.terms.Len())
 	ix.positional = ix.positional || other.positional
 	other.terms.Range(func(term string, l *postings.List) bool {
 		existing, ok := ix.terms.Get(term)
@@ -279,6 +405,7 @@ func (ix *Index) MergeTerm(term string, l *postings.List) {
 	if l == nil || l.Len() == 0 {
 		return
 	}
+	defer ix.invalidateSortedOnGrowth(ix.terms.Len())
 	existing := ix.terms.GetOrPut(term, func() *postings.List { return &postings.List{} })
 	before := existing.Len()
 	existing.Merge(l)

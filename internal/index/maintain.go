@@ -51,6 +51,11 @@ func (ix *Index) RemoveFiles(victims *postings.List) int {
 	for _, term := range emptied {
 		ix.terms.Delete(term)
 	}
+	if removed > 0 {
+		// Not just on emptied terms: the Put above swaps surviving
+		// terms' list pointers, which the sorted dictionary cache holds.
+		ix.invalidateSorted()
+	}
 	ix.nPostings -= int64(removed)
 	return removed
 }
@@ -97,13 +102,14 @@ func (ix *Index) TopTerms(n int) []TermCount {
 // termDocCounts aggregates per-term document counts over a set of
 // document-disjoint partitions in one pass: each file lives in exactly one
 // partition, so per-partition document counts add, and the cost is a pass
-// over each partition's term map plus a counter per distinct term — no
-// posting list is cloned, merged, or joined.
-func termDocCounts(parts []*Index) map[string]int {
+// over each partition's term dictionary plus a counter per distinct term —
+// no posting list is cloned, merged, joined, or (on a lazy backend) even
+// decoded.
+func termDocCounts(parts []Partition) map[string]int {
 	counts := make(map[string]int)
-	for _, ix := range parts {
-		ix.Range(func(term string, l *postings.List) bool {
-			counts[term] += l.Len()
+	for _, p := range parts {
+		p.TermsFrom("", func(term string, df int) bool {
+			counts[term] += df
 			return true
 		})
 	}
@@ -113,15 +119,15 @@ func termDocCounts(parts []*Index) map[string]int {
 // DistinctTermsAcross returns the exact number of distinct terms over a set
 // of document-disjoint partitions — not the per-partition sum, which counts
 // a term once per partition it appears in. Like termDocCounts it is one
-// pass over each partition's term map, but with a value-free set, since
-// only the cardinality is wanted.
-func DistinctTermsAcross(parts []*Index) int {
+// pass over each partition's term dictionary, but with a value-free set,
+// since only the cardinality is wanted.
+func DistinctTermsAcross(parts []Partition) int {
 	if len(parts) == 1 {
 		return parts[0].NumTerms()
 	}
-	seen := make(map[string]struct{}, parts[0].NumTerms())
-	for _, ix := range parts {
-		ix.Range(func(term string, _ *postings.List) bool {
+	seen := make(map[string]struct{})
+	for _, p := range parts {
+		p.TermsFrom("", func(term string, _ int) bool {
 			seen[term] = struct{}{}
 			return true
 		})
@@ -133,12 +139,9 @@ func DistinctTermsAcross(parts []*Index) int {
 // set of document-disjoint partitions (replicas or shards), most frequent
 // first with ties broken alphabetically, using the same single-pass counter
 // as DistinctTermsAcross.
-func TopTermsAcross(parts []*Index, n int) []TermCount {
+func TopTermsAcross(parts []Partition, n int) []TermCount {
 	if n <= 0 || len(parts) == 0 {
 		return nil
-	}
-	if len(parts) == 1 {
-		return parts[0].TopTerms(n)
 	}
 	counts := termDocCounts(parts)
 	all := make([]TermCount, 0, len(counts))

@@ -1,0 +1,76 @@
+package index
+
+import (
+	"desksearch/internal/postings"
+)
+
+// Partition is the read-side contract query evaluation runs against: the
+// exact set of operations internal/search needs from one document
+// partition of the corpus, and nothing more. The heap-resident *Index is
+// the first implementation; internal/segment's lazy DSIX v10 reader is the
+// second. Everything above this seam — boolean evaluation, phrase walks,
+// prefix expansion, BM25, snippets, suggestions — is backend-agnostic, and
+// the two backends must be observationally identical: the backend-equality
+// property test holds them to bit-identical query responses.
+//
+// Implementations must be safe for concurrent readers. Mutation, where an
+// implementation supports it at all, is excluded by the search engine's
+// maintenance lock, exactly as for *Index.
+type Partition interface {
+	// Lookup returns the posting list for term, or nil if absent. The
+	// returned list is shared storage — callers must not modify it.
+	Lookup(term string) *postings.List
+
+	// DocFreq returns the number of postings (documents) for term, 0 if
+	// absent. Equivalent to Lookup(term).Len() but, on a lazy backend,
+	// answered from the term dictionary without decoding the posting
+	// block — the difference BM25's document-frequency aggregation rides.
+	DocFreq(term string) int
+
+	// TermsFrom calls yield for every dictionary term >= from in
+	// ascending byte order, with the term's document frequency, until
+	// yield returns false. Prefix expansion seeks to the prefix and stops
+	// at the first non-matching term, so a broad dictionary costs only
+	// the matched range. TermsFrom("") walks the whole dictionary.
+	TermsFrom(from string, yield func(term string, df int) bool)
+
+	// Range calls f for every (term, posting list) pair in ascending
+	// term order until f returns false — TermsFrom plus the lists, for
+	// the passes that genuinely need every term's postings (snippet
+	// window recovery). On a lazy backend this decodes every posting
+	// block; prefer TermsFrom when the document frequency suffices.
+	Range(f func(term string, l *postings.List) bool)
+
+	// NumTerms returns the number of distinct terms.
+	NumTerms() int
+
+	// NumPostings returns the number of (term, file) pairs.
+	NumPostings() int64
+
+	// Positional reports whether posting lists carry token positions
+	// (phrase queries and snippets require them).
+	Positional() bool
+
+	// Docs returns the set of files this partition holds postings for, as
+	// a fresh pure-ID list — the complement base NOT evaluation unions
+	// into a universe. On a lazy backend it comes from the segment's
+	// persisted doc set, not from decoding postings.
+	Docs() *postings.List
+
+	// ResidentBytes estimates the partition's current heap footprint:
+	// everything for a heap index, the dictionary plus cached blocks for
+	// a lazy segment. It is an estimate for observability (/stats), not
+	// an accounting guarantee.
+	ResidentBytes() int64
+}
+
+// Partitions adapts a slice of concrete heap indices to the interface the
+// engine consumes. (Go does not convert []*Index to []Partition
+// implicitly.)
+func Partitions(ixs []*Index) []Partition {
+	out := make([]Partition, len(ixs))
+	for i, ix := range ixs {
+		out[i] = ix
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+package platform
+
+import "errors"
+
+// ErrNoMmap reports that memory mapping is unavailable — the platform has
+// no support (MmapSupported false) or the file cannot be mapped (empty,
+// or longer than the address space). Callers treat it as "use the
+// io.ReaderAt fallback", never as a failure.
+var ErrNoMmap = errors.New("platform: memory mapping unavailable")

@@ -1,0 +1,33 @@
+//go:build linux
+
+package platform
+
+import (
+	"os"
+	"syscall"
+)
+
+// This file (and its !linux counterpart) is the one OS-dependent corner of
+// the repository: read-only memory mapping for lazy DSIX v10 segment
+// serving (internal/segment). It lives in the platform package because
+// platform is where machine-specific behaviour is isolated — the simulated
+// profiles above model machines we don't have; MapFile adapts to the one
+// we do.
+
+// MmapSupported reports whether MapFile can succeed on this platform.
+const MmapSupported = true
+
+// MapFile maps f read-only into memory and returns the mapping plus its
+// unmap function. size must be f's current length and positive. On
+// platforms without mmap support it returns ErrNoMmap and callers fall
+// back to io.ReaderAt access.
+func MapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, ErrNoMmap
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package platform
+
+import "os"
+
+// MmapSupported reports whether MapFile can succeed on this platform.
+const MmapSupported = false
+
+// MapFile is unsupported here; callers fall back to io.ReaderAt access.
+// See mmap_linux.go for the supported implementation and the rationale
+// for hosting it in this package.
+func MapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, ErrNoMmap
+}

@@ -70,9 +70,9 @@ func (e *Engine) computeBM25Stats(q *Query, expansions [][]*postings.List) *bm25
 	for i, term := range q.positive {
 		df := 0
 		for _, ix := range e.indices {
-			if l := ix.Lookup(term); l != nil {
-				df += l.Len()
-			}
+			// DocFreq, not Lookup().Len(): a lazy partition answers it
+			// from the term dictionary without decoding the posting block.
+			df += ix.DocFreq(term)
 		}
 		st.idfTerm[i] = bm25IDF(df, n)
 	}

@@ -47,7 +47,7 @@ type Hit struct {
 // files.
 type Engine struct {
 	files   *index.FileTable
-	indices []*index.Index
+	indices []index.Partition
 	// Parallel fans query evaluation out with one goroutine per index.
 	// Off, partitions are searched sequentially (the ablation baseline).
 	Parallel bool
@@ -65,11 +65,12 @@ type Engine struct {
 	gen uint64
 }
 
-// NewEngine returns an engine over the given indices. For a joined or
-// shared index pass exactly one; for Implementation 3 or a shard set pass
-// every partition.
-func NewEngine(files *index.FileTable, indices ...*index.Index) *Engine {
-	return &Engine{files: files, indices: indices, Parallel: true}
+// NewEngine returns an engine over the given partitions — heap indices,
+// lazy segment readers, or a mix. For a joined or shared index pass
+// exactly one; for Implementation 3 or a shard set pass every partition.
+// (A []*index.Index converts via index.Partitions.)
+func NewEngine(files *index.FileTable, parts ...index.Partition) *Engine {
+	return &Engine{files: files, indices: parts, Parallel: true}
 }
 
 // Indices returns the number of indices the engine consults.
@@ -110,16 +111,30 @@ func (e *Engine) Generation() uint64 {
 // then, when non-nil, runs inside the same exclusive section, so a caller
 // can swap its own bookkeeping (result metadata, shard sets) in the same
 // atomic step a query can never observe half-done.
-func (e *Engine) Swap(files *index.FileTable, indices []*index.Index, then func()) {
+func (e *Engine) Swap(files *index.FileTable, parts []index.Partition, then func()) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.files = files
-	e.indices = indices
+	e.indices = parts
 	e.universes = nil
 	e.gen++
 	if then != nil {
 		then()
 	}
+}
+
+// ResidentBytes reports each partition's estimated heap footprint, in
+// partition order — the observability hook behind the server's /stats.
+// Heap indices report their full posting storage; lazy segment readers
+// report dictionary plus cached blocks, which is the point of comparison.
+func (e *Engine) ResidentBytes() []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int64, len(e.indices))
+	for i, ix := range e.indices {
+		out[i] = ix.ResidentBytes()
+	}
+	return out
 }
 
 // View runs f with updates excluded but queries admitted — the read-side
@@ -301,14 +316,11 @@ func (e *Engine) computeUniverses() []*postings.List {
 	}
 	covered := &postings.List{}
 	for i, ix := range e.indices {
-		u := &postings.List{}
-		ix.Range(func(_ string, l *postings.List) bool {
-			// Universes are pure ID sets: copy the IDs only, or every
-			// merge would drag term frequencies along just to sum and
-			// cache values NOT evaluation never reads.
-			u.Merge(postings.FromSortedIDs(l.IDs()))
-			return true
-		})
+		// Docs is a pure ID set by contract — a heap index unions its
+		// posting IDs, a lazy segment decodes its persisted doc list —
+		// so no merge drags term frequencies along just to cache values
+		// NOT evaluation never reads.
+		u := ix.Docs()
 		universes[i] = u
 		covered.Merge(u.Clone())
 	}
@@ -325,12 +337,12 @@ func (e *Engine) allFiles() *postings.List {
 	return postings.FromSortedIDs(e.files.LiveIDs(nil))
 }
 
-// evalEnv is one partition's evaluation environment: the index, its NOT
-// universe, and the partition's precomputed prefix expansions (indexed by
-// prefix ordinal — see expandPrefixes).
+// evalEnv is one partition's evaluation environment: the partition, its
+// NOT universe, and the partition's precomputed prefix expansions (indexed
+// by prefix ordinal — see expandPrefixes).
 type evalEnv struct {
 	ctx      context.Context
-	ix       *index.Index
+	ix       index.Partition
 	universe *postings.List
 	// prefixes[ord] is this partition's expansion union of prefix operator
 	// ord; nil when the query has no prefix operators.

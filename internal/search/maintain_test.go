@@ -82,7 +82,7 @@ func TestNotExcludesRemovedFileAcrossReplicas(t *testing.T) {
 		id := files.Add(fmt.Sprintf("r%d.txt", i), 1, int64(i+1))
 		replicas[i%2].AddBlock(id, terms, nil)
 	}
-	e := NewEngine(files, replicas...)
+	e := NewEngine(files, index.Partitions(replicas)...)
 	if hits, _ := e.SearchString("-alpha"); len(hits) != 2 {
 		t.Fatalf("-alpha before removal: %v", hits)
 	}
@@ -174,7 +174,7 @@ func TestSwapReplacesPartitions(t *testing.T) {
 	fresh.AddBlock(id, []string{"omega"}, nil)
 
 	var swappedInside bool
-	e.Swap(freshFiles, []*index.Index{fresh}, func() { swappedInside = true })
+	e.Swap(freshFiles, []index.Partition{fresh}, func() { swappedInside = true })
 	if !swappedInside {
 		t.Fatal("then-callback not run")
 	}

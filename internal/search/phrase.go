@@ -23,7 +23,7 @@ var ErrNoPositions = errors.New("search: index built without positions (rebuild 
 // A term missing from the partition yields an empty result; a term present
 // without positions yields ErrNoPositions, since adjacency would otherwise
 // be guessed.
-func evalPhrase(ix *index.Index, terms []string) (*postings.List, error) {
+func evalPhrase(ix index.Partition, terms []string) (*postings.List, error) {
 	lists := make([]*postings.List, len(terms))
 	for i, t := range terms {
 		l := ix.Lookup(t)

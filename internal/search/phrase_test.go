@@ -85,7 +85,7 @@ func positionalEngine(t *testing.T, files map[string]string, parts int) *Engine 
 		indices[i%parts].AddBlockPositional(block.File, block.Terms, block.Positions)
 		i++
 	}
-	return NewEngine(table, indices...)
+	return NewEngine(table, index.Partitions(indices)...)
 }
 
 func phraseCorpus() map[string]string {

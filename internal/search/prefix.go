@@ -29,33 +29,39 @@ var ErrPrefixTooBroad = errors.New("search: prefix matches too many terms")
 // operators. Expansion happens before evaluation fans out, which both
 // keeps the cap error independent of boolean short-circuiting and lets
 // BM25 aggregate the unions' document frequencies globally.
-func expandPrefixes(ix *index.Index, q *Query) ([]*postings.List, error) {
+//
+// Each prefix seeks to its start of the sorted dictionary and walks only
+// the matching range, so expansion cost tracks the prefix's selectivity,
+// not the dictionary size — and on a lazy backend only the matched terms'
+// posting blocks are decoded. Sorted term order (a Partition guarantee)
+// makes the union's construction order, and hence positional merges,
+// identical across backends.
+func expandPrefixes(ix index.Partition, q *Query) ([]*postings.List, error) {
 	if len(q.prefixes) == 0 {
 		return nil, nil
 	}
 	out := make([]*postings.List, len(q.prefixes))
-	matches := make([]int, len(q.prefixes))
-	for i := range out {
-		out[i] = &postings.List{}
-	}
-	var broad error
-	ix.Range(func(term string, l *postings.List) bool {
-		for i, p := range q.prefixes {
+	for i, p := range q.prefixes {
+		u := &postings.List{}
+		matches := 0
+		var broad error
+		ix.TermsFrom(p, func(term string, _ int) bool {
 			if !strings.HasPrefix(term, p) {
-				continue
+				return false
 			}
-			matches[i]++
-			if matches[i] > MaxPrefixTerms {
+			matches++
+			if matches > MaxPrefixTerms {
 				broad = fmt.Errorf("%w: %q matches over %d terms in one partition (lengthen the prefix)",
 					ErrPrefixTooBroad, p+"*", MaxPrefixTerms)
 				return false
 			}
-			out[i].Merge(l)
+			u.Merge(ix.Lookup(term))
+			return true
+		})
+		if broad != nil {
+			return nil, broad
 		}
-		return true
-	})
-	if broad != nil {
-		return nil, broad
+		out[i] = u
 	}
 	return out, nil
 }

@@ -93,7 +93,7 @@ func TestBM25HandComputed(t *testing.T) {
 func TestBM25ShardsMatchSingleExactly(t *testing.T) {
 	files, single, shards := bm25Fixture()
 	se := NewEngine(files, single)
-	re := NewEngine(files, shards...)
+	re := NewEngine(files, index.Partitions(shards)...)
 	re.Parallel = true
 
 	for _, qs := range []string{"cat", "dog", "cat OR dog", "the AND NOT dog", "c* OR dog", "th*"} {
@@ -187,7 +187,7 @@ func TestPrefixParseAndString(t *testing.T) {
 
 func TestPrefixQueryMatches(t *testing.T) {
 	files, single, replicas := fixture()
-	for _, e := range []*Engine{NewEngine(files, single), NewEngine(files, replicas...)} {
+	for _, e := range []*Engine{NewEngine(files, single), NewEngine(files, index.Partitions(replicas)...)} {
 		// "ca*" expands to {cat}: files 0, 3, 4, 7, 8.
 		res, err := e.Query(context.Background(), Request{Query: MustParse("ca*")})
 		if err != nil {

@@ -163,7 +163,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 			var wg sync.WaitGroup
 			for i, ix := range e.indices {
 				wg.Add(1)
-				go func(i int, ix *index.Index) {
+				go func(i int, ix index.Partition) {
 					defer wg.Done()
 					expansions[i], expErrs[i] = expandPrefixes(ix, req.Query)
 				}(i, ix)
@@ -204,7 +204,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		var wg sync.WaitGroup
 		for i, ix := range e.indices {
 			wg.Add(1)
-			go func(i int, ix *index.Index) {
+			go func(i int, ix index.Partition) {
 				defer wg.Done()
 				parts[i] = e.queryOne(ctx, ix, unis[i], req, k, exp(i), bm)
 			}(i, ix)
@@ -266,7 +266,7 @@ type scored struct {
 // and retain the local top k (all hits when k == 0), ranked. exp is the
 // partition's prefix expansion unions (nil without prefix operators) and bm
 // the request's global BM25 statistics (nil for other rankings).
-func (e *Engine) queryOne(ctx context.Context, ix *index.Index, universe *postings.List, req Request, k int, exp []*postings.List, bm *bm25Stats) partResult {
+func (e *Engine) queryOne(ctx context.Context, ix index.Partition, universe *postings.List, req Request, k int, exp []*postings.List, bm *bm25Stats) partResult {
 	start := time.Now()
 	// Phrase queries and snippets are rejected on position-free partitions
 	// before evaluation, not inside it: AND's empty-accumulator

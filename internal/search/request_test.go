@@ -50,7 +50,7 @@ func TestQueryPagedMatchesSearch(t *testing.T) {
 		e    *Engine
 	}{
 		{"single", NewEngine(files, single)},
-		{"replicas", NewEngine(files, replicas...)},
+		{"replicas", NewEngine(files, index.Partitions(replicas)...)},
 	} {
 		e := engines.e
 		for _, qs := range []string{"alpha", "beta OR gamma", "alpha -delta", "beta OR gamma OR epsilon"} {
@@ -112,7 +112,7 @@ func TestQueryPagedMatchesSearch(t *testing.T) {
 
 func TestQueryPartitionStats(t *testing.T) {
 	files, _, replicas := bigFixture(120, 4)
-	e := NewEngine(files, replicas...)
+	e := NewEngine(files, index.Partitions(replicas)...)
 	resp, err := e.Query(context.Background(), Request{Query: MustParse("alpha OR beta"), Limit: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestQueryMatchedTerms(t *testing.T) {
 
 func TestQueryPathPrefix(t *testing.T) {
 	files, single, replicas := bigFixture(90, 3)
-	for _, e := range []*Engine{NewEngine(files, single), NewEngine(files, replicas...)} {
+	for _, e := range []*Engine{NewEngine(files, single), NewEngine(files, index.Partitions(replicas)...)} {
 		all, err := e.Query(context.Background(), Request{Query: MustParse("alpha")})
 		if err != nil {
 			t.Fatal(err)
@@ -270,7 +270,7 @@ func (c *countdownCtx) Err() error {
 
 func TestQueryCanceledMidFanout(t *testing.T) {
 	files, _, replicas := bigFixture(200, 4)
-	e := NewEngine(files, replicas...)
+	e := NewEngine(files, index.Partitions(replicas)...)
 	e.Search(MustParse("alpha")) // warm universes
 	q := MustParse("alpha OR beta OR gamma OR delta OR epsilon")
 	// Trip cancellation at a spread of depths: the query must either
@@ -297,7 +297,7 @@ func TestQueryCanceledMidFanout(t *testing.T) {
 
 func TestQueryCancelPrompt(t *testing.T) {
 	files, _, replicas := bigFixture(400, 4)
-	e := NewEngine(files, replicas...)
+	e := NewEngine(files, index.Partitions(replicas)...)
 	e.Search(MustParse("alpha")) // warm universes
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)

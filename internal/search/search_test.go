@@ -146,7 +146,7 @@ func TestSingleIndexQueries(t *testing.T) {
 func TestReplicasMatchSingle(t *testing.T) {
 	files, single, replicas := fixture()
 	se := NewEngine(files, single)
-	re := NewEngine(files, replicas...)
+	re := NewEngine(files, index.Partitions(replicas)...)
 	queries := []string{
 		"cat", "dog", "fish", "bird",
 		"cat dog", "cat OR dog", "fish -cat", "NOT cat",
@@ -171,8 +171,8 @@ func TestReplicasMatchSingle(t *testing.T) {
 
 func TestSequentialEqualsParallel(t *testing.T) {
 	files, _, replicas := fixture()
-	par := NewEngine(files, replicas...)
-	seq := NewEngine(files, replicas...)
+	par := NewEngine(files, index.Partitions(replicas)...)
+	seq := NewEngine(files, index.Partitions(replicas)...)
 	seq.Parallel = false
 	for _, q := range []string{"cat", "NOT dog", "cat OR fish"} {
 		a, _ := par.SearchString(q)
@@ -225,7 +225,7 @@ func TestEngineIndices(t *testing.T) {
 	if NewEngine(files, single).Indices() != 1 {
 		t.Error("single engine Indices != 1")
 	}
-	if NewEngine(files, replicas...).Indices() != 3 {
+	if NewEngine(files, index.Partitions(replicas)...).Indices() != 3 {
 		t.Error("replica engine Indices != 3")
 	}
 }
@@ -273,7 +273,7 @@ func TestReplicaEquivalenceQuick(t *testing.T) {
 			replicas[i%r].AddBlock(id, terms, nil)
 		}
 		se := NewEngine(files, single)
-		re := NewEngine(files, replicas...)
+		re := NewEngine(files, index.Partitions(replicas)...)
 		for _, q := range queries {
 			a, err1 := se.SearchString(q)
 			b, err2 := re.SearchString(q)
@@ -302,7 +302,7 @@ func BenchmarkSearchSingle(b *testing.B) {
 
 func BenchmarkSearchReplicasParallel(b *testing.B) {
 	files, _, replicas := fixture()
-	e := NewEngine(files, replicas...)
+	e := NewEngine(files, index.Partitions(replicas)...)
 	q := MustParse("cat OR dog OR fish")
 	e.Search(q) // warm universes
 	b.ResetTimer()

@@ -53,7 +53,7 @@ func positionsOf(l *postings.List, id postings.FileID) []uint32 {
 // dictionary recovers the window's tokens by position. Hits with no
 // anchored match — pure NOT or phrase-free matches of negated-only
 // structure — keep a nil Snippet.
-func buildSnippets(ix *index.Index, q *Query, prefixes []*postings.List, hits []Hit) {
+func buildSnippets(ix index.Partition, q *Query, prefixes []*postings.List, hits []Hit) {
 	if len(hits) == 0 {
 		return
 	}
@@ -114,6 +114,10 @@ func buildSnippets(ix *index.Index, q *Query, prefixes []*postings.List, hits []
 		}
 		return false
 	}
+	// The only pass in the query stack that touches every term's list.
+	// On a lazy partition Range decodes (and caches) every block;
+	// snippets on lazy catalogs trade that cost for not holding the
+	// index in memory.
 	ix.Range(func(term string, l *postings.List) bool {
 		if !l.HasPositions() {
 			return true

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"desksearch/internal/postings"
 	"desksearch/internal/tokenize"
 )
 
@@ -28,8 +27,11 @@ type Suggestion struct {
 // trailing '*' is tolerated, so "Repor*" suggests like "repor") and must
 // yield exactly one term. n <= 0 applies a default of 10.
 //
-// Suggest scans every partition's term dictionary once per call; it takes
-// the engine's read lock, so it sees the same committed state queries do.
+// Suggest seeks each partition's sorted term dictionary to the prefix and
+// walks only the matching range; it takes the engine's read lock, so it
+// sees the same committed state queries do. Sorted dictionary order (a
+// Partition guarantee) makes the result deterministic across backends and
+// runs.
 func (e *Engine) Suggest(ctx context.Context, prefix string, n int) ([]Suggestion, error) {
 	terms := tokenize.Terms([]byte(strings.TrimRight(prefix, "*")), tokenize.Default)
 	switch {
@@ -53,10 +55,11 @@ func (e *Engine) Suggest(ctx context.Context, prefix string, n int) ([]Suggestio
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ix.Range(func(term string, l *postings.List) bool {
-			if strings.HasPrefix(term, p) {
-				df[term] += l.Len()
+		ix.TermsFrom(p, func(term string, d int) bool {
+			if !strings.HasPrefix(term, p) {
+				return false
 			}
+			df[term] += d
 			return true
 		})
 	}

@@ -1,0 +1,132 @@
+package segment
+
+import (
+	"container/list"
+	"sync"
+
+	"desksearch/internal/postings"
+)
+
+// DefaultCacheBytes is the block-cache budget used when NewCache is given
+// a non-positive limit: enough to keep a working set of hot terms decoded
+// without approaching the heap cost of eager loading.
+const DefaultCacheBytes = 64 << 20
+
+// Cache is a bounded LRU of decoded posting blocks, shared by every lazy
+// Reader of a catalog so the memory budget is global, not per-segment.
+// Entries are keyed by (reader, term ordinal); closing a reader drops its
+// entries. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recent; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	owner *Reader
+	ord   int
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	l     *postings.List
+	bytes int64
+}
+
+// NewCache returns a cache holding at most maxBytes of decoded postings
+// (estimated); non-positive means DefaultCacheBytes.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+	}
+}
+
+// Bytes returns the current estimated size of the cached blocks.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *Cache) get(owner *Reader, ord int) (*postings.List, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{owner, ord}]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).l, true
+}
+
+func (c *Cache) put(owner *Reader, ord int, l *postings.List) {
+	size := listBytes(l)
+	if size > c.maxBytes {
+		return // would evict everything and still not fit
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{owner, ord}
+	if el, ok := c.entries[key]; ok { // lost a race with a concurrent miss
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, l: l, bytes: size})
+	c.bytes += size
+	owner.cached.Add(size)
+	for c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the LRU entry. Caller holds c.mu.
+func (c *Cache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	e.key.owner.cached.Add(-e.bytes)
+}
+
+// dropOwner evicts every entry owned by r (called from Reader.Close).
+func (c *Cache) dropOwner(r *Reader) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.owner != r {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		r.cached.Add(-e.bytes)
+	}
+}
+
+// listBytes estimates a decoded list's heap footprint.
+func listBytes(l *postings.List) int64 {
+	b := int64(64) // List struct + slice headers
+	b += int64(l.Len()) * 4
+	if l.HasPositions() {
+		for i := 0; i < l.Len(); i++ {
+			b += 24 + int64(len(l.PositionsAt(i)))*4
+		}
+	} else {
+		b += int64(l.Len()) * 4 // counts slice upper bound
+	}
+	return b
+}

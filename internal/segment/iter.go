@@ -1,0 +1,148 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"desksearch/internal/fnv"
+	"desksearch/internal/postings"
+)
+
+// Iter streams one term's posting IDs straight off the raw block bytes,
+// without materializing the list. SeekGE uses the block's skip table to
+// jump within skipInterval postings of any target, which is what makes
+// intersecting a rare term against a dense one sublinear in the dense
+// list. The iterator reads the segment's storage directly, so it must not
+// be used after the owning Reader is closed.
+type Iter struct {
+	enc   []byte // standard posting encoding (skip table stripped)
+	skips []skipEntry
+	count int
+
+	idx   int    // postings consumed
+	off   int    // next varint offset in enc
+	prev  uint64 // last decoded ID
+	valid bool
+	err   error
+}
+
+type skipEntry struct {
+	id  uint64 // ids[(k+1)*skipInterval], absolute
+	off int    // offset in enc just past that ID's varint
+	idx int    // its posting index
+}
+
+// Iter returns a streaming iterator over term's postings, or nil if the
+// term is absent. The block's checksum and skip table are verified; the
+// postings themselves are validated as they stream (Next fails and Err
+// reports on corruption). No posting is decoded up front.
+func (r *Reader) Iter(term string) (*Iter, error) {
+	ord := r.find(term)
+	if ord < 0 {
+		return nil, nil
+	}
+	e := &r.entries[ord]
+	blk, err := r.src.slice(r.blocksOff+e.off, e.blen)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %s: term %q: %w", r.path, e.term, err)
+	}
+	if got := fnv.Hash64Bytes(blk); got != e.sum {
+		return nil, fmt.Errorf("segment: %s: term %q: block checksum mismatch: dictionary %#x, computed %#x",
+			r.path, e.term, e.sum, got)
+	}
+
+	c := &cursor{b: blk}
+	skipN := c.uvarint()
+	if want := uint64(maxSkips(e.df)); skipN != want {
+		return nil, fmt.Errorf("segment: %s: term %q: %d skip entries, want %d", r.path, e.term, skipN, want)
+	}
+	skips := make([]skipEntry, 0, skipN)
+	var sid uint64
+	var soff int
+	for k := uint64(0); k < skipN; k++ {
+		sid += c.uvarint()
+		soff += int(c.uvarint())
+		skips = append(skips, skipEntry{id: sid, off: soff, idx: int(k+1) * skipInterval})
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("segment: %s: term %q: corrupt skip table: %w", r.path, e.term, c.err)
+	}
+	enc := blk[c.off:]
+	count, n := binary.Uvarint(enc)
+	if n <= 0 || count != uint64(e.df) {
+		return nil, fmt.Errorf("segment: %s: term %q: block count disagrees with dictionary", r.path, e.term)
+	}
+	for _, s := range skips {
+		if s.off <= n || s.off > len(enc) || s.idx >= int(count) {
+			return nil, fmt.Errorf("segment: %s: term %q: skip entry out of range", r.path, e.term)
+		}
+	}
+	return &Iter{enc: enc, skips: skips, count: int(count), off: n}, nil
+}
+
+// Next advances to the next posting, returning false at the end of the
+// list or on corruption (check Err to tell the two apart).
+func (it *Iter) Next() bool {
+	if it.err != nil || it.idx >= it.count {
+		it.valid = false
+		return false
+	}
+	delta, n := binary.Uvarint(it.enc[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("segment: corrupt posting delta at index %d", it.idx)
+		it.valid = false
+		return false
+	}
+	if it.idx > 0 && delta == 0 {
+		it.err = fmt.Errorf("segment: duplicate posting id at index %d", it.idx)
+		it.valid = false
+		return false
+	}
+	it.off += n
+	if it.idx == 0 {
+		it.prev = delta
+	} else {
+		it.prev += delta
+	}
+	if it.prev > 0xFFFF_FFFF {
+		it.err = fmt.Errorf("segment: posting id %d overflows FileID", it.prev)
+		it.valid = false
+		return false
+	}
+	it.idx++
+	it.valid = true
+	return true
+}
+
+// SeekGE positions the iterator at the first posting with ID >= id —
+// never moving backwards — and reports whether one exists.
+func (it *Iter) SeekGE(id postings.FileID) bool {
+	if it.err != nil {
+		return false
+	}
+	if it.valid && it.prev >= uint64(id) {
+		return true
+	}
+	// Jump to the last skip entry strictly below the target, if it is
+	// ahead of the cursor; the target then lies within skipInterval
+	// postings of the landing point.
+	j := sort.Search(len(it.skips), func(k int) bool { return it.skips[k].id >= uint64(id) })
+	if j > 0 && it.skips[j-1].idx+1 > it.idx {
+		s := it.skips[j-1]
+		it.prev, it.off, it.idx, it.valid = s.id, s.off, s.idx+1, true
+	}
+	for it.Next() {
+		if it.prev >= uint64(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ID returns the current posting's file ID; valid only after a true
+// Next/SeekGE.
+func (it *Iter) ID() postings.FileID { return postings.FileID(it.prev) }
+
+// Err returns the corruption that stopped iteration, if any.
+func (it *Iter) Err() error { return it.err }

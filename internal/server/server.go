@@ -218,6 +218,14 @@ type StatsResponse struct {
 	Generation uint64  `json:"generation"`
 	UptimeS    float64 `json:"uptime_s"`
 
+	// OpenMode is how the catalog is held: "heap" (fully materialized) or
+	// "lazy" (posting blocks served from segment files on demand).
+	OpenMode string `json:"open_mode"`
+	// PartitionBytes estimates each partition's resident heap footprint in
+	// partition order — for a lazy catalog, the dictionary plus currently
+	// cached posting blocks, the number that shows what lazy open saves.
+	PartitionBytes []int64 `json:"partition_bytes"`
+
 	Queries     uint64 `json:"queries"`
 	QueryErrors uint64 `json:"query_errors"`
 	Reloads     uint64 `json:"reloads"`
@@ -496,18 +504,24 @@ func (s *Server) catalogStats() (desksearch.Stats, uint64) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs, gen := s.catalogStats()
+	mode := "heap"
+	if s.cat.Lazy() {
+		mode = "lazy"
+	}
 	out := StatsResponse{
-		Files:       cs.Files,
-		Terms:       cs.Terms,
-		Postings:    cs.Postings,
-		Skipped:     cs.Skipped,
-		Indices:     s.cat.Indices(),
-		Shards:      s.cat.Shards(),
-		Generation:  gen,
-		UptimeS:     time.Since(s.start).Seconds(),
-		Queries:     s.queries.Load(),
-		QueryErrors: s.queryErrors.Load(),
-		Reloads:     s.reloads.Load(),
+		Files:          cs.Files,
+		Terms:          cs.Terms,
+		Postings:       cs.Postings,
+		Skipped:        cs.Skipped,
+		Indices:        s.cat.Indices(),
+		Shards:         s.cat.Shards(),
+		Generation:     gen,
+		UptimeS:        time.Since(s.start).Seconds(),
+		OpenMode:       mode,
+		PartitionBytes: s.cat.PartitionBytes(),
+		Queries:        s.queries.Load(),
+		QueryErrors:    s.queryErrors.Load(),
+		Reloads:        s.reloads.Load(),
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -12,12 +12,15 @@ import (
 
 	"desksearch/internal/fnv"
 	"desksearch/internal/index"
+	"desksearch/internal/segment"
 )
 
 // The sharded on-disk layout: one directory holding
 //
 //	manifest.dsix   DSIX version 5 or 9 — file table + segment directory
-//	shard-0000.dsix DSIX version 7 or 8 — shard 0's term section
+//	shard-0000.dsix DSIX version 10 (lazy segment; internal/segment) for
+//	                fresh saves, or the version 7/8 term-section frame a
+//	                pre-v10 directory was loaded with
 //	shard-0001.dsix ...
 //
 // The manifest payload, inside the standard DSIX frame, is
@@ -75,6 +78,7 @@ func SaveDir(dir string, s *Set) error {
 	written := make([]bool, s.Len())
 	errs := make([]error, s.Len())
 	clean := s.cleanSums(dir)
+	lazy := !s.legacySegments
 	var wg sync.WaitGroup
 	for i, ix := range s.shards {
 		if clean[i] != nil {
@@ -85,7 +89,7 @@ func SaveDir(dir string, s *Set) error {
 		wg.Add(1)
 		go func(i int, ix *index.Index) {
 			defer wg.Done()
-			sums[i], errs[i] = saveSegmentFile(filepath.Join(dir, SegmentName(i)+stage), ix)
+			sums[i], errs[i] = saveSegmentFile(filepath.Join(dir, SegmentName(i)+stage), ix, lazy)
 		}(i, ix)
 	}
 	wg.Wait()
@@ -139,14 +143,22 @@ func removeStaleSegments(dir string, n int) {
 }
 
 // saveSegmentFile writes one segment and returns the FNV-1 checksum of the
-// complete file contents (frame and trailer included).
-func saveSegmentFile(path string, ix *index.Index) (uint64, error) {
+// complete file contents. Fresh sets write the v10 lazy form; sets loaded
+// from pre-v10 directories keep the legacy v7/v8 frame (lazy false), so
+// old catalogs round-trip byte-identically.
+func saveSegmentFile(path string, ix *index.Index, lazy bool) (uint64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
 	}
 	h := fnv.New64()
-	if err := index.SaveSegment(io.MultiWriter(f, h), ix); err != nil {
+	w := io.MultiWriter(f, h)
+	if lazy {
+		err = segment.Write(w, ix)
+	} else {
+		err = index.SaveSegment(w, ix)
+	}
+	if err != nil {
 		f.Close()
 		return 0, err
 	}
@@ -280,13 +292,14 @@ func LoadDir(dir string) (*Set, error) {
 		return nil, err
 	}
 	shards := make([]*index.Index, len(m.names))
+	legacy := make([]bool, len(m.names))
 	errs := make([]error, len(m.names))
 	var wg sync.WaitGroup
 	for i, name := range m.names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			shards[i], errs[i] = loadSegmentFile(filepath.Join(dir, name), m.sums[i])
+			shards[i], legacy[i], errs[i] = loadSegmentFile(filepath.Join(dir, name), m.sums[i])
 		}(i, name)
 	}
 	wg.Wait()
@@ -296,6 +309,12 @@ func LoadDir(dir string) (*Set, error) {
 		}
 	}
 	set := New(m.files, shards)
+	for _, l := range legacy {
+		if l {
+			set.legacySegments = true
+			break
+		}
+	}
 	// Remember where the segments live and their checksums, so a later
 	// SaveDir back into the same directory rewrites only dirty ones. Only
 	// canonically named segments qualify: SaveDir writes SegmentName(i),
@@ -313,13 +332,35 @@ func LoadDir(dir string) (*Set, error) {
 	return set, nil
 }
 
-func loadSegmentFile(path string, wantSum uint64) (*index.Index, error) {
+// loadSegmentFile eagerly loads one segment of either vintage, reporting
+// whether it was a legacy (pre-v10) frame. A v10 file is opened in place
+// over the already-read bytes and fully materialized — the eager path
+// through the lazy format.
+func loadSegmentFile(path string, wantSum uint64) (*index.Index, bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if got := fnv.Hash64Bytes(data); got != wantSum {
-		return nil, fmt.Errorf("file checksum mismatch: manifest %#x, computed %#x", wantSum, got)
+		return nil, false, fmt.Errorf("file checksum mismatch: manifest %#x, computed %#x", wantSum, got)
 	}
-	return index.LoadSegment(bytes.NewReader(data))
+	if segmentVersion(data) == index.LazySegmentVersion {
+		r, err := segment.OpenBytes(path, data, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		ix, err := r.Materialize()
+		r.Close()
+		return ix, false, err
+	}
+	ix, err := index.LoadSegment(bytes.NewReader(data))
+	return ix, err == nil, err
+}
+
+// segmentVersion peeks a DSIX file's version field (0 if too short).
+func segmentVersion(data []byte) uint16 {
+	if len(data) < 6 {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(data[4:6])
 }

@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"desksearch/internal/index"
+	"desksearch/internal/segment"
+)
+
+// LazySet is a sharded index directory opened without materializing it:
+// the shared file table from the manifest plus one lazy segment reader per
+// shard. It is read-only — the query stack runs on it through Partitions,
+// but nothing can be added, removed, or re-saved; re-index to change it.
+type LazySet struct {
+	files   *index.FileTable
+	readers []*segment.Reader
+	cache   *segment.Cache
+}
+
+// ErrNotLazy reports that a directory's segments predate the v10 lazy
+// format, so it can only be loaded eagerly (LoadDir). errors.Is-able;
+// wraps segment.ErrLegacyVersion context per offending file.
+var ErrNotLazy = errors.New("shard: directory predates lazy segments (re-save to upgrade, or load eagerly)")
+
+// OpenDir opens a sharded index directory lazily: the manifest is read and
+// verified in full (it is small — the file table and segment names), but
+// each segment contributes only its term dictionary; posting blocks stay
+// on disk, mmap'd where the platform allows, decoded per term on demand
+// into a cache bounded by cacheBytes (non-positive means
+// segment.DefaultCacheBytes, shared across all shards).
+//
+// Unlike LoadDir, the manifest's whole-file segment checksums are NOT
+// verified — doing so would read every posting byte and make open
+// O(postings) again. Integrity instead comes from the v10 layout itself:
+// the dictionary region is checksum-verified at open, and every posting
+// block is checked against its dictionary checksum before first use.
+// Directories whose segments predate v10 return ErrNotLazy.
+func OpenDir(dir string, cacheBytes int64) (*LazySet, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	cache := segment.NewCache(cacheBytes)
+	s := &LazySet{files: m.files, readers: make([]*segment.Reader, len(m.names)), cache: cache}
+	for i, name := range m.names {
+		r, err := segment.Open(filepath.Join(dir, name), cache)
+		if err != nil {
+			s.Close()
+			if errors.Is(err, segment.ErrLegacyVersion) {
+				return nil, fmt.Errorf("%w: %v", ErrNotLazy, err)
+			}
+			return nil, fmt.Errorf("shard: segment %s: %w", name, err)
+		}
+		s.readers[i] = r
+	}
+	return s, nil
+}
+
+// Files returns the shared file table.
+func (s *LazySet) Files() *index.FileTable { return s.files }
+
+// Len returns the number of shards.
+func (s *LazySet) Len() int { return len(s.readers) }
+
+// Readers returns the per-shard segment readers. Callers must not modify
+// the slice.
+func (s *LazySet) Readers() []*segment.Reader { return s.readers }
+
+// Partitions returns the shards as query-stack partitions.
+func (s *LazySet) Partitions() []index.Partition {
+	parts := make([]index.Partition, len(s.readers))
+	for i, r := range s.readers {
+		parts[i] = r
+	}
+	return parts
+}
+
+// Cache returns the shared posting-block cache.
+func (s *LazySet) Cache() *segment.Cache { return s.cache }
+
+// Positional reports whether the set carries token positions.
+func (s *LazySet) Positional() bool {
+	for _, r := range s.readers {
+		if r != nil && r.Positional() {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats aggregates index statistics across the shards from their
+// dictionaries alone. Terms is an upper bound, as for Set.Stats.
+func (s *LazySet) Stats() index.Stats {
+	var agg index.Stats
+	for _, r := range s.readers {
+		agg.Terms += r.NumTerms()
+		agg.Postings += r.NumPostings()
+	}
+	return agg
+}
+
+// Verify decodes and checks every posting block of every shard — the full
+// integrity pass lazy open deliberately skips.
+func (s *LazySet) Verify() error {
+	for i, r := range s.readers {
+		if err := r.Verify(); err != nil {
+			return fmt.Errorf("shard: segment %s: %w", SegmentName(i), err)
+		}
+	}
+	return nil
+}
+
+// Err returns the first posting-block corruption any shard ran into while
+// serving queries, or nil.
+func (s *LazySet) Err() error {
+	for _, r := range s.readers {
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every reader's mapping or file handle. Queries must have
+// drained first; decoded lists already returned remain valid.
+func (s *LazySet) Close() error {
+	var first error
+	for _, r := range s.readers {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -46,6 +46,13 @@ type Set struct {
 	savedDir  string
 	savedSums []uint64
 	dirty     []bool
+
+	// legacySegments records that the set was loaded from pre-v10 (v7/v8)
+	// segment files. SaveDir then keeps writing that legacy form, so a
+	// load/save cycle on an old directory never silently upgrades it —
+	// the same provenance rule the v9 manifest gating follows. Fresh sets
+	// persist as v10 lazy segments.
+	legacySegments bool
 }
 
 // New returns a set over the given partitions. The caller guarantees the
@@ -111,6 +118,10 @@ func (s *Set) markSaved(dir string, sums []uint64) {
 	s.savedSums = sums
 	s.dirty = make([]bool, len(s.shards))
 }
+
+// LegacySegments reports whether the set came from pre-v10 segment files
+// (and will re-save in that form).
+func (s *Set) LegacySegments() bool { return s.legacySegments }
 
 // Files returns the shared file table.
 func (s *Set) Files() *index.FileTable { return s.files }
