@@ -7,6 +7,8 @@
 //	dsearchd -root DIR [-shards N] [-formats] [flags]
 //	dsearchd -index PATH [-root DIR] [flags]
 //	dsearchd -index DIR -lazy [flags]
+//	dsearchd -index DIR -worker [-shards 0,2] [flags]
+//	dsearchd -broker -workers URLS [flags]
 //
 // -root builds the index at startup; -index loads a saved one (a single
 // index file or a sharded directory as written by indexgen). With both,
@@ -19,14 +21,34 @@
 // only the term dictionaries, and posting data is mapped and decoded per
 // query (see desksearch.OpenDir). The catalog is read-only — -lazy
 // conflicts with -root and -watch — and /stats reports open_mode "lazy"
-// with the per-partition resident-byte estimates.
+// with the per-partition resident-byte estimates. -block-cache-bytes
+// bounds the decoded posting-block cache.
+//
+// -worker turns the daemon into a distributed-serving worker: the internal
+// scatter-gather endpoints (/internal/meta, /internal/df,
+// /internal/search) come up next to the public ones. With -shards as a
+// comma-separated list of shard numbers ("0,2"), only those segments of
+// the -index directory are opened (lazily, per shard subset); the
+// directory must be hash-routed, i.e. built with a shard count.
+//
+// -broker runs the scatter-gather front end instead of serving an index:
+// -workers declares the replica topology as comma-separated groups of
+// |-separated worker URLs ("http://a:7701|http://a2:7701,http://b:7702" is
+// two groups, the first with two replicas). The broker verifies at startup
+// that the groups' shard subsets tile the directory, then serves the same
+// public API as a single node, with per-group failover and hedged
+// requests.
 //
 // Endpoints:
 //
-//	GET  /search?q=QUERY&limit=N&offset=N&rank=count|tf&prefix=P&timeout=D
+//	GET  /search?q=QUERY&limit=N&offset=N&rank=count|tf|bm25&prefix=P&timeout=D
+//	GET  /suggest?q=PREFIX&n=N
 //	GET  /stats
 //	GET  /healthz
 //	POST /reload            (add ?mode=full to rebuild from scratch)
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
 package main
 
 import (
@@ -38,10 +60,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"desksearch"
+	"desksearch/internal/broker"
 	"desksearch/internal/server"
 )
 
@@ -50,23 +75,61 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:7700", "listen address")
 		indexPath    = flag.String("index", "", "load a saved index from this file or sharded directory")
 		root         = flag.String("root", "", "directory to index at startup (and to watch for changes)")
-		shards       = flag.Int("shards", 0, "with -root, partition the index into N document shards")
+		shards       = flag.String("shards", "", "with -root, partition the index into N document shards; with -worker, the comma-separated list of shard numbers to serve (empty = all)")
 		formats      = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
 		lazy         = flag.Bool("lazy", false, "with -index DIR, serve segment files lazily (mmap + on-demand decode) instead of loading them into memory; the catalog is read-only")
 		watch        = flag.Duration("watch", 0, "poll -root for changes on this interval (0 = off)")
 		cacheEntries = flag.Int("cache-entries", 1024, "query cache entry bound (negative disables the cache)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "query cache byte budget")
+		blockCache   = flag.Int64("block-cache-bytes", 0, "posting-block cache byte budget for lazy catalogs (0 = built-in default)")
 		timeout      = flag.Duration("timeout", 10*time.Second, "per-request query timeout ceiling")
 		maxLimit     = flag.Int("max-limit", 1000, "cap on the per-request limit parameter")
+		drain        = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
+		worker       = flag.Bool("worker", false, "serve the distributed-serving worker endpoints (/internal/*)")
+		brokerMode   = flag.Bool("broker", false, "run as a scatter-gather broker over -workers instead of serving an index")
+		workers      = flag.String("workers", "", "with -broker, the worker topology: comma-separated replica groups of |-separated URLs")
+		hedge        = flag.Duration("hedge", 0, "with -broker, fixed hedged-request delay (0 = adaptive, p95 of recent group latencies)")
+		healthEvery  = flag.Duration("health-interval", 2*time.Second, "with -broker, worker health poll interval")
 	)
 	flag.Parse()
+
+	if *brokerMode {
+		switch {
+		case *workers == "":
+			fmt.Fprintln(os.Stderr, "dsearchd: -broker needs -workers with at least one worker URL")
+			os.Exit(2)
+		case *indexPath != "" || *root != "" || *worker || *lazy:
+			fmt.Fprintln(os.Stderr, "dsearchd: -broker serves no index of its own; it conflicts with -index, -root, -worker, and -lazy")
+			os.Exit(2)
+		}
+		runBroker(*addr, *workers, *timeout, *hedge, *healthEvery, *drain, *maxLimit)
+		return
+	}
+
 	if *indexPath == "" && *root == "" {
-		fmt.Fprintln(os.Stderr, "usage: dsearchd (-root DIR | -index PATH) [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dsearchd (-root DIR | -index PATH | -broker -workers URLS) [flags]")
 		os.Exit(2)
 	}
 	if *watch > 0 && *root == "" {
 		fmt.Fprintln(os.Stderr, "dsearchd: -watch needs -root to poll")
 		os.Exit(2)
+	}
+	shardCount, shardSubset, err := parseShardsFlag(*shards, *worker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsearchd: %v\n", err)
+		os.Exit(2)
+	}
+	if len(shardSubset) > 0 {
+		// A shard subset only makes sense against a saved, hash-routed
+		// directory; it forces the lazy per-segment open path.
+		switch {
+		case *indexPath == "":
+			fmt.Fprintln(os.Stderr, "dsearchd: -worker -shards needs -index DIR (a sharded index directory)")
+			os.Exit(2)
+		case *root != "":
+			fmt.Fprintln(os.Stderr, "dsearchd: a shard-subset worker serves a read-only directory; it conflicts with -root")
+			os.Exit(2)
+		}
 	}
 	if *lazy {
 		// A lazy catalog is read-only: it cannot absorb incremental
@@ -81,13 +144,17 @@ func main() {
 		}
 	}
 
-	opts := desksearch.Options{Formats: *formats, Shards: *shards, Lazy: *lazy}
-	var (
-		cat *desksearch.Catalog
-		err error
-	)
+	opts := desksearch.Options{
+		Formats:         *formats,
+		Shards:          shardCount,
+		Lazy:            *lazy,
+		BlockCacheBytes: *blockCache,
+	}
+	var cat *desksearch.Catalog
 	start := time.Now()
 	switch {
+	case len(shardSubset) > 0:
+		cat, err = desksearch.OpenDirShards(*indexPath, shardSubset, opts)
 	case *indexPath != "":
 		cat, err = loadIndex(*indexPath, opts)
 	default:
@@ -103,6 +170,9 @@ func main() {
 	st := cat.Stats()
 	log.Printf("catalog ready in %s (%s): %d files, %d terms, %d postings, %d partition(s)",
 		time.Since(start).Round(time.Millisecond), mode, st.Files, st.Terms, st.Postings, cat.Indices())
+	if *worker && len(shardSubset) > 0 {
+		log.Printf("worker serving shards %v of %d", cat.PartitionIDs(), cat.TotalShards())
+	}
 
 	cfg := server.Config{
 		Catalog:      cat,
@@ -111,6 +181,7 @@ func main() {
 		Timeout:      *timeout,
 		MaxLimit:     *maxLimit,
 		Logf:         log.Printf,
+		Worker:       *worker,
 	}
 	if *root != "" {
 		dir := *root
@@ -125,23 +196,105 @@ func main() {
 		log.Printf("watching %s every %s", *root, *watch)
 		go srv.Watch(ctx, *watch)
 	}
+	serveHTTP(ctx, *addr, srv.Handler(), *drain)
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// runBroker brings up the scatter-gather front end and blocks until
+// shutdown.
+func runBroker(addr, workers string, timeout, hedge, healthEvery, drain time.Duration, maxLimit int) {
+	groups := parseWorkerGroups(workers)
+	b, err := broker.New(broker.Config{
+		Groups:     groups,
+		Timeout:    timeout,
+		MaxLimit:   maxLimit,
+		HedgeAfter: hedge,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("dsearchd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	topoCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	err = b.CheckTopology(topoCtx)
+	cancel()
+	if err != nil {
+		log.Fatalf("dsearchd: %v", err)
+	}
+	log.Printf("broker topology verified: %d group(s)", len(groups))
+	go b.Watch(ctx, healthEvery)
+	serveHTTP(ctx, addr, b.Handler(), drain)
+}
+
+// serveHTTP serves h on addr until ctx is cancelled (SIGINT/SIGTERM),
+// then shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to finish, and stragglers are cut off.
+func serveHTTP(ctx context.Context, addr string, h http.Handler, drain time.Duration) {
+	httpSrv := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on http://%s", *addr)
+	log.Printf("serving on http://%s", addr)
 
 	select {
 	case err := <-errc:
 		log.Fatalf("dsearchd: %v", err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	log.Printf("shutting down (draining up to %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("dsearchd: shutdown: %v", err)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("dsearchd: drain budget exceeded; closing remaining connections")
+			httpSrv.Close()
+		} else {
+			log.Printf("dsearchd: shutdown: %v", err)
+		}
 	}
+}
+
+// parseShardsFlag resolves the two readings of -shards: a shard count for
+// builds ("4"), or — in worker mode — the comma-separated list of global
+// shard numbers to serve ("0,2").
+func parseShardsFlag(v string, worker bool) (count int, subset []int, err error) {
+	if v == "" {
+		return 0, nil, nil
+	}
+	if worker {
+		for _, f := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 0 {
+				return 0, nil, fmt.Errorf("invalid -shards list %q (want comma-separated shard numbers)", v)
+			}
+			subset = append(subset, n)
+		}
+		return 0, subset, nil
+	}
+	count, err = strconv.Atoi(v)
+	if err != nil || count < 0 {
+		return 0, nil, fmt.Errorf("invalid -shards %q (want a shard count)", v)
+	}
+	return count, nil, nil
+}
+
+// parseWorkerGroups splits the -workers topology: groups by comma,
+// replicas within a group by pipe.
+func parseWorkerGroups(v string) [][]string {
+	var groups [][]string
+	for _, g := range strings.Split(v, ",") {
+		var replicas []string
+		for _, r := range strings.Split(g, "|") {
+			if r = strings.TrimSpace(r); r != "" {
+				replicas = append(replicas, r)
+			}
+		}
+		if len(replicas) > 0 {
+			groups = append(groups, replicas)
+		}
+	}
+	return groups
 }
 
 // loadIndex reads a catalog from path: a sharded index directory when path

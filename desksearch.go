@@ -70,6 +70,13 @@ type Options struct {
 	// term dictionaries, not the postings, and the catalog is read-only.
 	// Ignored by the indexing entry points.
 	Lazy bool
+	// BlockCacheBytes bounds the shared posting-block cache of lazily
+	// opened catalogs (OpenDir, OpenDirShards, LoadDir with Lazy): decoded
+	// posting blocks of hot terms are kept up to this many estimated
+	// bytes, shared across all partitions. Non-positive falls back to the
+	// package default (segment.DefaultCacheBytes, 64 MiB). Ignored by
+	// eager loads and the indexing entry points.
+	BlockCacheBytes int64
 }
 
 // validate rejects option values that would misbehave downstream, with a
@@ -252,7 +259,25 @@ type Query struct {
 	// Options.Positions (the same error phrase queries give otherwise) and
 	// a positive Limit.
 	Snippets bool
+	// GlobalDF, when non-nil with RankBM25, supplies the corpus-wide
+	// document-frequency statistics to score with instead of aggregating
+	// them from this catalog — the distributed-serving hook. A broker
+	// fanning one query out over catalogs that each hold a subset of the
+	// corpus gathers every catalog's DocFreqs, sums them with
+	// DocFreqs.Add, and attaches the total here; each subset then scores
+	// with exactly the statistics the whole corpus would have produced,
+	// keeping BM25 scores bit-identical to a single-node evaluation. The
+	// vector must come from DocFreqs on the same normalized query.
+	// Ignored by the other rankings; not part of the Normalize cache key
+	// (transports attach it per request, after normalization).
+	GlobalDF *DocFreqs
 }
+
+// DocFreqs is a query's corpus-global document-frequency vector — the
+// statistics half of BM25 scoring as plain, transportable data. See
+// Catalog.DocFreqs and Query.GlobalDF; the field semantics are documented
+// on the internal search type this aliases.
+type DocFreqs = search.DocFreqs
 
 // Normalize parses the query (when Expr is unset) and returns a copy with
 // Expr populated plus the canonical cache key identifying the request:
@@ -297,6 +322,12 @@ func (q Query) Normalize() (Query, string, error) {
 type Hit struct {
 	// Path is the matched file, relative to the indexed root.
 	Path string
+	// File is the hit's catalog-internal document ID — the ascending
+	// half of the tie-break rule (see Score). It is stable for the life
+	// of a saved catalog and shared by every worker serving the same
+	// directory, which is what lets a distributed merge reproduce the
+	// single-node order exactly.
+	File uint32
 	// Score ranks the hit under the request's Ranking mode. Count and TF
 	// scores are small integers represented exactly; BM25 scores are real
 	// relevance weights. Ties break by indexing order, deterministically:
@@ -493,6 +524,7 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		Ranking:    ranking,
 		PathPrefix: q.PathPrefix,
 		Snippets:   q.Snippets,
+		GlobalDF:   q.GlobalDF,
 	})
 	if err != nil {
 		return nil, err
@@ -503,7 +535,7 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		Partitions: make([]PartitionTiming, len(resp.Partitions)),
 	}
 	for i, h := range resp.Hits {
-		hit := Hit{Path: h.Path, Score: h.Score, Terms: h.Terms}
+		hit := Hit{Path: h.Path, File: uint32(h.File), Score: h.Score, Terms: h.Terms}
 		if h.Snippet != nil {
 			spans := make([]Span, len(h.Snippet.Highlights))
 			for j, s := range h.Snippet.Highlights {
@@ -517,6 +549,26 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		out.Partitions[i] = PartitionTiming{Partition: p.Partition, Matched: p.Matched, Duration: p.Duration}
 	}
 	return out, nil
+}
+
+// DocFreqs computes the catalog's local document-frequency vector for q:
+// the live-document and token counts plus, per positive query term and
+// per scoring prefix operator, the number of this catalog's documents
+// matching it. It is phase one of the distributed BM25 protocol: a broker
+// gathers every worker catalog's vector, sums them with DocFreqs.Add
+// (worker catalogs are document-disjoint, so frequencies add exactly),
+// and passes the total back through Query.GlobalDF — after which every
+// worker scores with corpus-global statistics and the merged result is
+// bit-identical to a single-node evaluation. Term frequencies are
+// answered from the term dictionaries (no posting blocks are decoded);
+// prefix operators are expanded under the same cap as evaluation, so an
+// over-broad prefix fails here first.
+func (c *Catalog) DocFreqs(ctx context.Context, q Query) (*DocFreqs, error) {
+	q, _, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return c.engine.DocFreqs(ctx, q.Expr.q)
 }
 
 // Suggest returns up to n indexed terms starting with prefix — the
@@ -651,6 +703,68 @@ func (c *Catalog) Shards() int {
 		}
 	})
 	return n
+}
+
+// PartitionIDs returns each query partition's global identity, in
+// partition order: for a catalog opened over a shard subset
+// (OpenDirShards) the directory-wide shard numbers, and the identity
+// 0..Indices()-1 for every whole catalog. Response.Partitions indexes are
+// local; this is the mapping a distributed worker applies before
+// reporting per-partition statistics to its broker, so the broker's view
+// names every shard consistently across workers.
+func (c *Catalog) PartitionIDs() []int {
+	var out []int
+	c.engine.View(func() {
+		if c.lazy != nil {
+			out = append(out, c.lazy.ShardIDs()...)
+			return
+		}
+		out = make([]int, c.engine.Indices())
+		for i := range out {
+			out[i] = i
+		}
+	})
+	return out
+}
+
+// TotalShards returns the shard count of the directory behind the
+// catalog, which for a subset catalog (OpenDirShards) exceeds Shards —
+// the local count. Whole catalogs report their own shard count (0 when
+// unsharded).
+func (c *Catalog) TotalShards() int {
+	var n int
+	c.engine.View(func() {
+		if c.lazy != nil {
+			n = c.lazy.TotalShards()
+		} else if c.result.Shards != nil {
+			n = c.result.Shards.Len()
+		}
+	})
+	return n
+}
+
+// BlockCache reports the posting-block cache of a lazily opened catalog:
+// its byte budget and current estimated usage. ok is false for eager
+// catalogs, which have no block cache.
+func (c *Catalog) BlockCache() (budget, used int64, ok bool) {
+	c.engine.View(func() {
+		if c.lazy == nil {
+			return
+		}
+		cache := c.lazy.Cache()
+		budget, used, ok = cache.MaxBytes(), cache.Bytes(), true
+	})
+	return budget, used, ok
+}
+
+// Positional reports whether the catalog carries token positions — the
+// capability phrase queries and snippets need. Workers surface it through
+// /internal/meta so a broker can reject positional queries up front when
+// any worker lacks positions.
+func (c *Catalog) Positional() bool {
+	var on bool
+	c.engine.View(func() { on = c.result.Config.Extract.Positions })
+	return on
 }
 
 // Timings returns the pipeline phase durations of the build, in seconds:
@@ -835,7 +949,11 @@ func OpenDir(dir string, opt ...Options) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := shard.OpenDir(dir, 0)
+	var cacheBytes int64
+	if len(opt) > 0 {
+		cacheBytes = opt[0].BlockCacheBytes
+	}
+	set, err := shard.OpenDir(dir, cacheBytes)
 	if err != nil {
 		if errors.Is(err, shard.ErrNotLazy) {
 			var eager []Options
@@ -848,17 +966,64 @@ func OpenDir(dir string, opt ...Options) (*Catalog, error) {
 		}
 		return nil, err
 	}
+	return lazyCatalog(cfg, set), nil
+}
+
+// OpenDirShards is OpenDir restricted to a subset of the directory's
+// shards — the distributed worker's open path (dsearchd -worker
+// -shards=0,2): only the named segments' dictionaries are read and
+// mapped, so the worker's startup cost and memory footprint track its
+// share of the corpus, not the whole directory. shardIDs lists global
+// shard numbers; nil or empty opens every shard, identically to OpenDir.
+//
+// A true subset requires a hash-routed directory — any directory built
+// with Options.Shards. Directories saved from pipeline replicas are not
+// hash-routed and fail with a descriptive error (rebuild with a shard
+// count), because without the routing the workers of one directory could
+// not partition NOT-query responsibility among themselves. Unlike
+// OpenDir, a pre-v10 directory is an error here, never an eager
+// fallback: a worker that silently materialized every shard would defeat
+// the deployment's point.
+//
+// The catalog answers queries exactly as the full directory would for
+// its own documents: merged across a disjoint worker set (and, for BM25,
+// scored via the Query.GlobalDF protocol), responses are bit-identical
+// to a single-node catalog over the whole directory.
+func OpenDirShards(dir string, shardIDs []int, opt ...Options) (*Catalog, error) {
+	cfg, err := loadedConfig(opt)
+	if err != nil {
+		return nil, err
+	}
+	var cacheBytes int64
+	if len(opt) > 0 {
+		cacheBytes = opt[0].BlockCacheBytes
+	}
+	set, err := shard.OpenDirShards(dir, cacheBytes, shardIDs)
+	if err != nil {
+		return nil, err
+	}
+	return lazyCatalog(cfg, set), nil
+}
+
+// lazyCatalog wraps an open lazy set as a read-only catalog, installing
+// the subset-aware NOT universes when the set holds only part of its
+// directory.
+func lazyCatalog(cfg core.Config, set *shard.LazySet) *Catalog {
 	cfg.Extract.Positions = set.Positional()
 	res := &core.Result{
 		Implementation: core.ReplicatedSearch,
 		Config:         cfg,
 		Files:          set.Files(),
 	}
+	engine := search.NewEngine(set.Files(), set.Partitions()...)
+	if set.Subset() {
+		engine.SetUniverses(set.Universes)
+	}
 	return &Catalog{
 		result: res,
-		engine: search.NewEngine(set.Files(), set.Partitions()...),
+		engine: engine,
 		lazy:   set,
-	}, nil
+	}
 }
 
 // Changeset is a tree diff computed by Catalog.Diff and consumed by

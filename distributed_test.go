@@ -1,0 +1,285 @@
+package desksearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"desksearch/internal/shard"
+)
+
+// openSubset opens a shard subset of dir or fails the test.
+func openSubset(t *testing.T, dir string, ids []int, opt Options) *Catalog {
+	t.Helper()
+	cat, err := OpenDirShards(dir, ids, opt)
+	if err != nil {
+		t.Fatalf("OpenDirShards(%v): %v", ids, err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	return cat
+}
+
+// TestOpenDirShardsSubset pins the worker open path: a subset catalog
+// reports its place in the directory's topology, serves exactly the
+// documents that hash-route to its shards, and complementary subsets
+// tile every query's result set — including NOT queries, whose
+// complement universes are the subtle part of subset serving.
+func TestOpenDirShardsSubset(t *testing.T) {
+	fs := corpusFS(t, 120)
+	built, err := IndexFS(fs, ".", Options{Positions: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := Options{Positions: true, BlockCacheBytes: 1 << 20}
+	whole, err := OpenDir(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	// Deliberately interleaved subsets: global shard numbers must survive
+	// the mapping to local partition indexes.
+	subA := openSubset(t, dir, []int{0, 2}, opt)
+	subB := openSubset(t, dir, []int{3, 1}, opt)
+
+	if got := subA.PartitionIDs(); fmt.Sprint(got) != "[0 2]" {
+		t.Fatalf("subA.PartitionIDs() = %v, want [0 2]", got)
+	}
+	if got := subB.PartitionIDs(); fmt.Sprint(got) != "[1 3]" {
+		t.Fatalf("subB.PartitionIDs() = %v (ids normalize sorted), want [1 3]", got)
+	}
+	if subA.TotalShards() != 4 || subA.Shards() != 2 {
+		t.Fatalf("subA topology = %d local of %d total, want 2 of 4", subA.Shards(), subA.TotalShards())
+	}
+	if whole.TotalShards() != 4 || whole.Shards() != 4 {
+		t.Fatalf("whole topology = %d local of %d total, want 4 of 4", whole.Shards(), whole.TotalShards())
+	}
+	if budget, _, ok := subA.BlockCache(); !ok || budget != 1<<20 {
+		t.Fatalf("subA.BlockCache() = %d, %v; want the configured 1MiB budget", budget, ok)
+	}
+
+	// Every query shape — NOT clauses and OR-of-NOT especially, which
+	// depend on the subset universes — must tile: subset totals sum to the
+	// whole's total and the subsets' hit sets are disjoint.
+	queries := []Query{
+		{Text: "report"},
+		{Text: "quarterly report -draft"},
+		{Text: "flour OR -report", Ranking: RankTF},
+		{Text: "milk -pancake -allergy"},
+		{Text: `"annual report"`, Ranking: RankBM25},
+		{Text: "repor* -final", Ranking: RankCount},
+	}
+	for _, q := range queries {
+		rw, err := whole.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%q whole: %v", q.Text, err)
+		}
+		ra, err := subA.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%q subA: %v", q.Text, err)
+		}
+		rb, err := subB.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%q subB: %v", q.Text, err)
+		}
+		if ra.Total+rb.Total != rw.Total {
+			t.Fatalf("%q: subset totals %d+%d != whole %d", q.Text, ra.Total, rb.Total, rw.Total)
+		}
+		seen := make(map[string]bool)
+		for _, h := range append(append([]Hit{}, ra.Hits...), rb.Hits...) {
+			if seen[h.Path] {
+				t.Fatalf("%q: %s served by both subsets", q.Text, h.Path)
+			}
+			seen[h.Path] = true
+		}
+	}
+}
+
+// TestDistributedBM25Identity proves the df pre-aggregation protocol at
+// the API level: summing the subsets' integer document-frequency vectors
+// and handing the total back through Query.GlobalDF makes the merged
+// subset results bit-identical to the whole directory's — scores, order,
+// and ties included. This is the invariant the HTTP broker transports.
+func TestDistributedBM25Identity(t *testing.T) {
+	fs := corpusFS(t, 150)
+	built, err := IndexFS(fs, ".", Options{Positions: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Positions: true}
+	whole, err := OpenDir(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	subsets := []*Catalog{
+		openSubset(t, dir, []int{0, 2}, opt),
+		openSubset(t, dir, []int{1, 3}, opt),
+	}
+
+	queries := []Query{
+		{Text: "report", Ranking: RankBM25},
+		{Text: "quarterly OR annual", Ranking: RankBM25, Limit: 25},
+		{Text: "repor* budget", Ranking: RankBM25, Limit: 10},
+		{Text: `"annual report" -draft`, Ranking: RankBM25, Limit: 40},
+		{Text: "rev* OR milk", Ranking: RankBM25, Limit: 15, Offset: 5},
+	}
+	for _, q := range queries {
+		// Phase one: gather and sum the local df vectors. The whole
+		// catalog's own vector must equal the sum — dfs are integers and
+		// partitions are document-disjoint.
+		sum, err := subsets[0].DocFreqs(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%q df: %v", q.Text, err)
+		}
+		for _, sub := range subsets[1:] {
+			df, err := sub.DocFreqs(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%q df: %v", q.Text, err)
+			}
+			if !sum.Add(df) {
+				t.Fatalf("%q: df vectors disagree in shape", q.Text)
+			}
+		}
+		wdf, err := whole.DocFreqs(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(*sum) != fmt.Sprint(*wdf) {
+			t.Fatalf("%q: summed subset dfs %+v != whole dfs %+v", q.Text, *sum, *wdf)
+		}
+
+		// Phase two: evaluate each subset under the global statistics and
+		// k-way merge the partials by (score desc, file asc) — the
+		// engine's total order.
+		k := q.Limit + q.Offset
+		var partial []Hit
+		for _, sub := range subsets {
+			sq := q
+			sq.Offset = 0
+			sq.Limit = k // limit+offset candidates; broker applies offset post-merge
+			sq.GlobalDF = sum
+			r, err := sub.Query(context.Background(), sq)
+			if err != nil {
+				t.Fatalf("%q subset query: %v", q.Text, err)
+			}
+			partial = append(partial, r.Hits...)
+		}
+		sort.Slice(partial, func(i, j int) bool {
+			if partial[i].Score != partial[j].Score {
+				return partial[i].Score > partial[j].Score
+			}
+			return partial[i].File < partial[j].File
+		})
+		if q.Offset < len(partial) {
+			partial = partial[q.Offset:]
+		} else {
+			partial = nil
+		}
+		if k > 0 && len(partial) > q.Limit {
+			partial = partial[:q.Limit]
+		}
+
+		rw, err := whole.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partial) != len(rw.Hits) {
+			t.Fatalf("%q: merged %d hits, whole %d", q.Text, len(partial), len(rw.Hits))
+		}
+		for i := range partial {
+			if partial[i].Path != rw.Hits[i].Path {
+				t.Fatalf("%q: hit %d path %q vs %q", q.Text, i, partial[i].Path, rw.Hits[i].Path)
+			}
+			if math.Float64bits(partial[i].Score) != math.Float64bits(rw.Hits[i].Score) {
+				t.Fatalf("%q: hit %d (%s) score bits %x vs %x", q.Text, i,
+					partial[i].Path, math.Float64bits(partial[i].Score), math.Float64bits(rw.Hits[i].Score))
+			}
+		}
+	}
+}
+
+// TestGlobalDFShapeMismatch: a GlobalDF vector from a different query
+// must be rejected, not silently mis-scored.
+func TestGlobalDFShapeMismatch(t *testing.T) {
+	fs := corpusFS(t, 40)
+	cat, err := IndexFS(fs, ".", Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := cat.DocFreqs(context.Background(), Query{Text: "report budget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.Query(context.Background(), Query{Text: "report", Ranking: RankBM25, GlobalDF: df})
+	if err == nil {
+		t.Fatal("mismatched GlobalDF shape was accepted")
+	}
+}
+
+// TestOpenDirShardsNotHashRouted: a directory saved from pipeline
+// replicas has no shard routing, so opening a true subset of it must be
+// refused — the workers could not divide NOT-query responsibility.
+func TestOpenDirShardsNotHashRouted(t *testing.T) {
+	fs := corpusFS(t, 60)
+	built, err := IndexFS(fs, ".", Options{Implementation: ReplicatedSearch, Extractors: 3, Updaters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Indices() < 2 {
+		t.Fatalf("want >=2 replicas to form a subset, got %d", built.Indices())
+	}
+	dir := t.TempDir()
+	if err := built.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDirShards(dir, []int{0})
+	if !errors.Is(err, shard.ErrNotHashRouted) {
+		t.Fatalf("OpenDirShards on a replica-saved directory = %v, want ErrNotHashRouted", err)
+	}
+	// The full set of the same directory stays serveable: no subset, no
+	// routing requirement.
+	cat, err := OpenDirShards(dir, nil)
+	if err != nil {
+		t.Fatalf("whole-directory open of the same directory failed: %v", err)
+	}
+	cat.Close()
+}
+
+// TestOpenDirShardsValidation covers the subset argument contract.
+func TestOpenDirShardsValidation(t *testing.T) {
+	fs := corpusFS(t, 30)
+	built, err := IndexFS(fs, ".", Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirShards(dir, []int{3}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := OpenDirShards(dir, []int{-1}); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	cat, err := OpenDirShards(dir, []int{2, 0, 2}) // duplicates collapse
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if got := cat.PartitionIDs(); fmt.Sprint(got) != "[0 2]" {
+		t.Fatalf("PartitionIDs = %v, want [0 2]", got)
+	}
+}

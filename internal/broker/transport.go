@@ -1,0 +1,206 @@
+package broker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"desksearch/internal/server"
+)
+
+// WorkerMetaView aliases the worker's /internal/meta response shape; the
+// broker consumes exactly what the server package serves.
+type WorkerMetaView = server.WorkerMeta
+
+// maxResponseBytes bounds how much of a worker response the broker will
+// buffer — a malfunctioning worker must not balloon the broker's heap.
+const maxResponseBytes = 64 << 20
+
+// httpDoer is the slice of *http.Client the broker uses; tests substitute
+// their own.
+type httpDoer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// newHTTPClient returns the broker's transport. No client-level timeout:
+// every request carries a context deadline, and a fixed client timeout
+// would fight the per-attempt budgets.
+func newHTTPClient() httpDoer {
+	return &http.Client{}
+}
+
+// WorkerError is a deterministic worker rejection (HTTP 4xx) surfaced
+// through the broker: the query itself is at fault — unparseable text,
+// unknown ranking, over-broad prefix — so no replica retry can help, and
+// the status propagates to the client as-is.
+type WorkerError struct {
+	Status  int
+	Message string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("worker rejected request (HTTP %d): %s", e.Status, e.Message)
+}
+
+// do issues one HTTP request and buffers the response.
+func (b *Broker) do(ctx context.Context, method, url string, body []byte) (status int, respBody []byte, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// decodeErrorBody extracts the server's {"error": ...} message, falling
+// back to the raw body.
+func decodeErrorBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := string(body)
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// fetchMeta retrieves one worker's /internal/meta.
+func (b *Broker) fetchMeta(ctx context.Context, base string) (WorkerMetaView, error) {
+	var m WorkerMetaView
+	status, body, err := b.do(ctx, http.MethodGet, base+"/internal/meta", nil)
+	if err != nil {
+		return m, err
+	}
+	if status != http.StatusOK {
+		return m, fmt.Errorf("HTTP %d: %s", status, decodeErrorBody(body))
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		return m, fmt.Errorf("malformed meta: %w", err)
+	}
+	return m, nil
+}
+
+// probeHealth reports whether a worker's /healthz answers 200.
+func (b *Broker) probeHealth(ctx context.Context, base string) bool {
+	status, _, err := b.do(ctx, http.MethodGet, base+"/healthz", nil)
+	return err == nil && status == http.StatusOK
+}
+
+// doGroup runs one request against a replica group with rotation,
+// failover, and hedging, decoding the winning 200 response into out.
+//
+// The primary attempt goes to the group's next healthy replica. Two
+// things bring the next replica into play: a retryable failure
+// (connection error, per-attempt timeout, 5xx) starts it immediately —
+// the failover path — and the hedge timer starts it speculatively while
+// the primary is merely slow. Whichever outstanding attempt answers 200
+// first wins; the rest are cancelled by the shared context when the
+// caller's request completes. A 4xx stops everything at once: it is the
+// request that is broken, not the replica.
+func (b *Broker) doGroup(ctx context.Context, g *group, method, path string, body []byte, out any) error {
+	cands := g.candidates()
+	gctx, gcancel := context.WithCancel(ctx)
+	defer gcancel()
+
+	type result struct {
+		idx    int
+		status int
+		body   []byte
+		err    error
+		took   time.Duration
+	}
+	results := make(chan result, len(cands))
+	attemptTO := b.attemptTimeout(g)
+	launch := func(i int) {
+		go func() {
+			actx, acancel := context.WithTimeout(gctx, attemptTO)
+			defer acancel()
+			start := time.Now()
+			status, respBody, err := b.do(actx, method, cands[i].url+path, body)
+			results <- result{idx: i, status: status, body: respBody, err: err, took: time.Since(start)}
+		}()
+	}
+	launch(0)
+	inflight, next := 1, 1
+
+	hedge := time.NewTimer(b.hedgeDelay(g))
+	defer hedge.Stop()
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-hedge.C:
+			if next < len(cands) {
+				b.hedges.Add(1)
+				launch(next)
+				next++
+				inflight++
+			}
+		case res := <-results:
+			inflight--
+			switch {
+			case res.err == nil && res.status == http.StatusOK:
+				g.window.Observe(res.took)
+				if res.idx > 0 {
+					b.hedgeWins.Add(1)
+				}
+				if out != nil {
+					if err := json.Unmarshal(res.body, out); err != nil {
+						return fmt.Errorf("broker: %s: malformed response: %w", cands[res.idx].url, err)
+					}
+				}
+				return nil
+			case res.err == nil && res.status >= 400 && res.status < 500:
+				return &WorkerError{Status: res.status, Message: decodeErrorBody(res.body)}
+			default:
+				err := res.err
+				if err == nil {
+					err = fmt.Errorf("HTTP %d: %s", res.status, decodeErrorBody(res.body))
+				}
+				lastErr = fmt.Errorf("%s: %w", cands[res.idx].url, err)
+				// A connection-level failure delists the replica until the
+				// health loop clears it; a timeout is just slowness and a
+				// cancellation is the caller's doing — neither says the
+				// replica is down.
+				if res.err != nil && !errors.Is(res.err, context.DeadlineExceeded) && !errors.Is(res.err, context.Canceled) {
+					cands[res.idx].healthy.Store(false)
+				}
+				if next < len(cands) {
+					b.failovers.Add(1)
+					b.logf("broker: failing over from %s: %v", cands[res.idx].url, err)
+					launch(next)
+					next++
+					inflight++
+				} else if inflight == 0 {
+					return fmt.Errorf("broker: all %d replica(s) failed, last: %w", len(cands), lastErr)
+				}
+			}
+		}
+	}
+}

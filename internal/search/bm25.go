@@ -2,6 +2,7 @@ package search
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"desksearch/internal/postings"
@@ -60,8 +61,37 @@ func (s *bm25Stats) score(idf float64, tf, dl uint32) float64 {
 // partitions and derives the request's IDFs and average document length.
 // expansions are the per-partition prefix expansion unions (nil when the
 // query has none). The caller must hold the engine's read lock.
-func (e *Engine) computeBM25Stats(q *Query, expansions [][]*postings.List) *bm25Stats {
+//
+// When global is non-nil — the distributed-serving path, where this
+// engine's partitions are only a subset of the corpus — the aggregation is
+// skipped entirely and the supplied corpus-wide statistics are used
+// instead. Document frequencies are integers, so a broker that sums
+// per-worker DocFreqs vectors hands every worker the exact numbers a
+// single-node engine would have aggregated itself, in any summation order,
+// and the derived IDFs (and so every score) come out bit-identical.
+func (e *Engine) computeBM25Stats(q *Query, expansions [][]*postings.List, global *DocFreqs) (*bm25Stats, error) {
 	st := &bm25Stats{avgdl: 1}
+	if global != nil {
+		if len(global.Terms) != len(q.positive) || len(global.Prefixes) != len(q.scorePrefixes) {
+			return nil, fmt.Errorf("search: document-frequency vector shape (%d terms, %d prefixes) does not match query (%d terms, %d prefixes)",
+				len(global.Terms), len(global.Prefixes), len(q.positive), len(q.scorePrefixes))
+		}
+		n := global.Docs
+		if n > 0 && global.Tokens > 0 {
+			st.avgdl = float64(global.Tokens) / float64(n)
+		}
+		st.idfTerm = make([]float64, len(q.positive))
+		for i, df := range global.Terms {
+			st.idfTerm[i] = bm25IDF(df, n)
+		}
+		if len(q.scorePrefixes) > 0 {
+			st.idfPrefix = make([]float64, len(q.scorePrefixes))
+			for j, df := range global.Prefixes {
+				st.idfPrefix[j] = bm25IDF(df, n)
+			}
+		}
+		return st, nil
+	}
 	n := e.files.LiveCount()
 	if total := e.files.LiveTokens(); n > 0 && total > 0 {
 		st.avgdl = float64(total) / float64(n)
@@ -86,5 +116,5 @@ func (e *Engine) computeBM25Stats(q *Query, expansions [][]*postings.List) *bm25
 			st.idfPrefix[j] = bm25IDF(df, n)
 		}
 	}
-	return st
+	return st, nil
 }

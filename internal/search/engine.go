@@ -59,6 +59,12 @@ type Engine struct {
 	// responsible for (the complement base for NOT); nil means not yet
 	// computed or invalidated by an update.
 	universes []*postings.List
+	// universeFn, when non-nil, replaces computeUniverses — the hook for
+	// engines whose partitions are a subset of a larger corpus (a
+	// distributed worker), where the default "every live file not covered
+	// here is an orphan of partition 0" rule would wrongly claim every
+	// remote document for NOT queries. Set via SetUniverses.
+	universeFn func() []*postings.List
 	// gen counts committed mutations: every Maintain, Invalidate, or Swap
 	// increments it, so a cache keyed on (generation, query) can never
 	// serve a result computed before an update as if it were current.
@@ -121,6 +127,22 @@ func (e *Engine) Swap(files *index.FileTable, parts []index.Partition, then func
 	if then != nil {
 		then()
 	}
+}
+
+// SetUniverses installs f as the engine's universe provider: f must
+// return, per partition in partition order, the posting list of files
+// that partition answers NOT queries for, and the lists of one call must
+// partition the files the engine is responsible for. Distributed workers
+// serving a shard subset use it to claim exactly their own documents; the
+// default computation (every partition's docs, orphans assigned to
+// partition 0) covers whole catalogs. The provider's result is cached
+// like the computed universes and re-requested after every Maintain,
+// Invalidate, or Swap.
+func (e *Engine) SetUniverses(f func() []*postings.List) {
+	e.mu.Lock()
+	e.universeFn = f
+	e.universes = nil
+	e.mu.Unlock()
 }
 
 // ResidentBytes reports each partition's estimated heap footprint, in
@@ -259,6 +281,20 @@ func mergeTwo(a, b []Hit) []Hit {
 	return out
 }
 
+// MergeRankedPage k-way merges already-ranked hit lists from disjoint
+// document partitions into one ranked list, stopping after k hits (k <= 0
+// merges everything). It is the engine's own per-partition merge exported
+// for the distributed broker: each worker returns its local top-k merged
+// under the same total order (hitLess), and because top-k of top-k lists
+// equals the global top-k under a total order, merging worker pages here
+// reproduces the single-node page exactly.
+func MergeRankedPage(parts [][]Hit, k int) []Hit {
+	if k > 0 {
+		return mergePage(parts, k)
+	}
+	return mergeRanked(parts)
+}
+
 // mergePage k-way merges per-partition ranked hit lists, stopping as soon
 // as n hits are collected — the page-bounded counterpart of mergeRanked.
 // Partition counts are small, so a linear scan over the heads beats heap
@@ -309,6 +345,9 @@ func mergePage(parts [][]Hit, n int) []Hit {
 // their postings are gone from every partition, and allFiles skips them —
 // so a deleted file can never resurface through a negated query.
 func (e *Engine) computeUniverses() []*postings.List {
+	if e.universeFn != nil {
+		return e.universeFn()
+	}
 	universes := make([]*postings.List, len(e.indices))
 	if len(e.indices) == 1 {
 		universes[0] = e.allFiles()

@@ -77,6 +77,116 @@ type Request struct {
 	// positive Limit — snippets are generated for the retained page only,
 	// never for an unbounded result.
 	Snippets bool
+	// GlobalDF, when non-nil, supplies corpus-wide document-frequency
+	// statistics for BM25 ranking in place of the engine's own aggregation
+	// — the distributed-serving hook. A broker that fans a query out over
+	// workers each holding a subset of the corpus first gathers every
+	// worker's DocFreqs, sums them, and attaches the total here, so each
+	// worker scores with the exact statistics a single-node evaluation
+	// would have used. Ignored by the other ranking modes. The vector must
+	// match the query's shape (one entry per positive term and per scoring
+	// prefix operator) or the query fails.
+	GlobalDF *DocFreqs
+}
+
+// DocFreqs is the corpus-global half of BM25 scoring as plain data: the
+// live-document count, the total live token count, and one document
+// frequency per positive query term and per scoring prefix operator, in
+// the query's canonical order. Partitions are document-disjoint, so the
+// vectors of two engines serving disjoint partition subsets sum
+// element-wise to the vector of the whole corpus — the invariant the
+// distributed broker's pre-aggregation phase rides. Docs and Tokens are
+// corpus-wide properties of the shared file table, identical on every
+// worker of one catalog; a broker verifies rather than sums them.
+type DocFreqs struct {
+	// Docs is the number of live documents (BM25's N).
+	Docs int
+	// Tokens is the summed token length of the live documents; Tokens/Docs
+	// is BM25's average document length.
+	Tokens uint64
+	// Terms[i] is the document frequency of the query's i-th positive
+	// term, summed over this engine's partitions.
+	Terms []int
+	// Prefixes[j] is the document frequency of the query's j-th scoring
+	// prefix operator — the total size of its expansion unions.
+	Prefixes []int
+}
+
+// Add accumulates other into d element-wise: document frequencies sum
+// (partition subsets are document-disjoint), while Docs and Tokens — equal
+// on every worker by construction — are taken from the first operand. It
+// reports whether the shapes matched.
+func (d *DocFreqs) Add(other *DocFreqs) bool {
+	if len(d.Terms) != len(other.Terms) || len(d.Prefixes) != len(other.Prefixes) {
+		return false
+	}
+	for i, v := range other.Terms {
+		d.Terms[i] += v
+	}
+	for j, v := range other.Prefixes {
+		d.Prefixes[j] += v
+	}
+	return true
+}
+
+// DocFreqs computes the engine's local document-frequency vector for q:
+// per positive term, the DocFreq summed over the engine's partitions
+// (answered from term dictionaries, no posting blocks decoded); per
+// scoring prefix operator, the summed size of its expansion unions. It is
+// phase one of the distributed BM25 protocol — cheap enough to run as a
+// separate round-trip before the query itself. Expansion obeys the same
+// MaxPrefixTerms cap as evaluation, so an over-broad prefix fails here,
+// before any worker evaluates anything.
+func (e *Engine) DocFreqs(ctx context.Context, q *Query) (*DocFreqs, error) {
+	if q == nil || q.root == nil {
+		return nil, fmt.Errorf("search: request has no query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := &DocFreqs{
+		Docs:     e.files.LiveCount(),
+		Tokens:   e.files.LiveTokens(),
+		Terms:    make([]int, len(q.positive)),
+		Prefixes: make([]int, len(q.scorePrefixes)),
+	}
+	for i, term := range q.positive {
+		for _, ix := range e.indices {
+			out.Terms[i] += ix.DocFreq(term)
+		}
+	}
+	if len(q.prefixes) > 0 {
+		expansions := make([][]*postings.List, len(e.indices))
+		expErrs := make([]error, len(e.indices))
+		if e.Parallel && len(e.indices) > 1 {
+			var wg sync.WaitGroup
+			for i, ix := range e.indices {
+				wg.Add(1)
+				go func(i int, ix index.Partition) {
+					defer wg.Done()
+					expansions[i], expErrs[i] = expandPrefixes(ix, q)
+				}(i, ix)
+			}
+			wg.Wait()
+		} else {
+			for i, ix := range e.indices {
+				expansions[i], expErrs[i] = expandPrefixes(ix, q)
+			}
+		}
+		for _, err := range expErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for j, ord := range q.scorePrefixes {
+			for _, exp := range expansions {
+				out.Prefixes[j] += exp[ord].Len()
+			}
+		}
+	}
+	return out, nil
 }
 
 // PartitionStat is one partition's share of a query's work.
@@ -184,7 +294,11 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	var bm *bm25Stats
 	if req.Ranking == RankBM25 {
-		bm = e.computeBM25Stats(req.Query, expansions)
+		var err error
+		bm, err = e.computeBM25Stats(req.Query, expansions, req.GlobalDF)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Each partition only ever contributes to one page of Limit hits at

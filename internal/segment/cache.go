@@ -55,6 +55,14 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
+// MaxBytes returns the cache's byte budget — the bound eviction enforces,
+// surfaced for observability (/stats) alongside Bytes.
+func (c *Cache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
 func (c *Cache) get(owner *Reader, ord int) (*postings.List, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +47,7 @@ import (
 
 	"desksearch"
 	"desksearch/internal/cache"
+	"desksearch/internal/timing"
 )
 
 // Config wires a Server to its catalog and reload sources.
@@ -74,6 +77,11 @@ type Config struct {
 	// Logf, when non-nil, receives one line per reload and per watch
 	// error.
 	Logf func(format string, args ...any)
+	// Worker additionally exposes the distributed-serving endpoints
+	// (/internal/meta, /internal/df, /internal/search) a scatter-gather
+	// broker fans queries out to — dsearchd's -worker mode. The public
+	// endpoints stay available, so a worker can also be queried directly.
+	Worker bool
 }
 
 // Server is the daemon's HTTP state. Create with New; serve via Handler.
@@ -86,6 +94,14 @@ type Server struct {
 	maxLim  int
 	logf    func(string, ...any)
 	start   time.Time
+	worker  bool
+
+	// partMu guards partTimings: one sliding window of evaluation wall
+	// times per global partition ID, fed by every fresh (uncached) query
+	// and summarized in /stats — the observability brokers tune their
+	// per-worker timeouts from.
+	partMu      sync.Mutex
+	partTimings map[int]*timing.Window
 
 	// reloadMu serializes /reload and Watch ticks, so overlapping reloads
 	// cannot interleave their prune steps.
@@ -133,14 +149,16 @@ func New(cfg Config) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		cat:     cfg.Catalog,
-		update:  cfg.Update,
-		rebuild: cfg.Rebuild,
-		cache:   c,
-		timeout: timeout,
-		maxLim:  maxLim,
-		logf:    logf,
-		start:   time.Now(),
+		cat:         cfg.Catalog,
+		update:      cfg.Update,
+		rebuild:     cfg.Rebuild,
+		cache:       c,
+		timeout:     timeout,
+		maxLim:      maxLim,
+		logf:        logf,
+		start:       time.Now(),
+		worker:      cfg.Worker,
+		partTimings: make(map[int]*timing.Window),
 	}
 }
 
@@ -152,7 +170,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /reload", s.handleReload)
+	if s.worker {
+		mux.HandleFunc("GET /internal/meta", s.handleWorkerMeta)
+		mux.HandleFunc("GET /internal/df", s.handleWorkerDF)
+		mux.HandleFunc("POST /internal/search", s.handleWorkerSearch)
+	}
 	return mux
+}
+
+// observePartitions feeds one fresh evaluation's per-partition wall times
+// into the server's sliding windows, keyed by global partition ID (shard
+// numbers for a subset worker), so /stats summarizes them.
+func (s *Server) observePartitions(parts []desksearch.PartitionTiming) {
+	if len(parts) == 0 {
+		return
+	}
+	ids := s.cat.PartitionIDs()
+	s.partMu.Lock()
+	for _, p := range parts {
+		id := p.Partition
+		if p.Partition < len(ids) {
+			id = ids[p.Partition]
+		}
+		w := s.partTimings[id]
+		if w == nil {
+			w = timing.NewWindow(0)
+			s.partTimings[id] = w
+		}
+		w.Observe(p.Duration)
+	}
+	s.partMu.Unlock()
+}
+
+// partitionTimingStats summarizes the per-partition windows for /stats,
+// ordered by partition ID.
+func (s *Server) partitionTimingStats() []PartitionTimingStat {
+	s.partMu.Lock()
+	ids := make([]int, 0, len(s.partTimings))
+	for id := range s.partTimings {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]PartitionTimingStat, 0, len(ids))
+	for _, id := range ids {
+		if sum, ok := s.partTimings[id].Snapshot(); ok {
+			out = append(out, PartitionTimingStat{
+				Partition: id,
+				Queries:   sum.Count,
+				MinUS:     float64(sum.Min.Nanoseconds()) / 1e3,
+				MedianUS:  float64(sum.Median.Nanoseconds()) / 1e3,
+				P95US:     float64(sum.P95.Nanoseconds()) / 1e3,
+				MaxUS:     float64(sum.Max.Nanoseconds()) / 1e3,
+			})
+		}
+	}
+	s.partMu.Unlock()
+	return out
 }
 
 // SearchResponse is the JSON shape of /search.
@@ -231,6 +304,46 @@ type StatsResponse struct {
 	Reloads     uint64 `json:"reloads"`
 
 	Cache *CacheStats `json:"cache,omitempty"`
+
+	// BlockCache reports a lazy catalog's posting-block cache: the byte
+	// budget (the -block-cache-bytes flag) and current estimated usage.
+	// Absent for eager catalogs.
+	BlockCache *BlockCacheStats `json:"block_cache,omitempty"`
+
+	// PartitionTimings summarizes recent per-partition evaluation wall
+	// times (a sliding window of the last few hundred fresh queries),
+	// keyed by global partition ID — shard numbers for a worker serving a
+	// subset. This is the signal a broker derives its per-worker timeouts
+	// and hedging delays from. Absent until the first uncached query.
+	PartitionTimings []PartitionTimingStat `json:"partition_timings,omitempty"`
+
+	// Worker, when present, describes the worker's place in a distributed
+	// deployment: which global shards it serves out of how many.
+	Worker *WorkerStats `json:"worker,omitempty"`
+}
+
+// BlockCacheStats is the lazy posting-block cache block of /stats.
+type BlockCacheStats struct {
+	BudgetBytes int64 `json:"budget_bytes"`
+	UsedBytes   int64 `json:"used_bytes"`
+}
+
+// PartitionTimingStat summarizes one partition's recent evaluation times.
+type PartitionTimingStat struct {
+	Partition int     `json:"partition"`
+	Queries   uint64  `json:"queries"`
+	MinUS     float64 `json:"min_us"`
+	MedianUS  float64 `json:"median_us"`
+	P95US     float64 `json:"p95_us"`
+	MaxUS     float64 `json:"max_us"`
+}
+
+// WorkerStats is the worker block of /stats.
+type WorkerStats struct {
+	// Shards lists the global shard numbers this worker serves.
+	Shards []int `json:"shards"`
+	// TotalShards is the directory's full shard count.
+	TotalShards int `json:"total_shards"`
 }
 
 // CacheStats is the cache block of /stats.
@@ -287,16 +400,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	timeout := s.timeout
-	if t := r.URL.Query().Get("timeout"); t != "" {
-		d, err := time.ParseDuration(t)
-		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid timeout %q", t)
-			return
-		}
-		if d < timeout {
-			timeout = d
-		}
+	timeout, err := ParseTimeout(r.URL.Query(), s.timeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -318,6 +425,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
+	}
+	if !cached {
+		s.observePartitions(resp.Partitions)
 	}
 
 	out := SearchResponse{
@@ -438,27 +548,40 @@ func (s *Server) cachedQuery(ctx context.Context, gen uint64, key string, req de
 
 // parseSearch maps query parameters onto a desksearch.Query.
 func (s *Server) parseSearch(r *http.Request) (desksearch.Query, int, error) {
+	req, err := ParseSearchQuery(r.URL.Query(), s.maxLim)
+	if err != nil {
+		return req, http.StatusBadRequest, err
+	}
+	return req, 0, nil
+}
+
+// ParseSearchQuery maps /search-style URL parameters (q, limit, offset,
+// rank, snippets, prefix) onto a desksearch.Query. It is exported so the
+// distributed broker's front door accepts exactly the same dialect as a
+// single-node daemon — every error it returns is the client's mistake and
+// maps to 400. maxLimit caps the limit parameter and replaces an
+// unbounded limit=0.
+func ParseSearchQuery(params url.Values, maxLimit int) (desksearch.Query, error) {
 	var req desksearch.Query
-	params := r.URL.Query()
 	req.Text = params.Get("q")
 	if req.Text == "" {
-		return req, http.StatusBadRequest, fmt.Errorf("missing q parameter")
+		return req, fmt.Errorf("missing q parameter")
 	}
 	req.Limit = 10
 	if v := params.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			return req, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v)
+			return req, fmt.Errorf("invalid limit %q", v)
 		}
 		req.Limit = n
 	}
-	if req.Limit == 0 || req.Limit > s.maxLim {
-		req.Limit = s.maxLim
+	if req.Limit == 0 || req.Limit > maxLimit {
+		req.Limit = maxLimit
 	}
 	if v := params.Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			return req, http.StatusBadRequest, fmt.Errorf("invalid offset %q", v)
+			return req, fmt.Errorf("invalid offset %q", v)
 		}
 		req.Offset = n
 	}
@@ -468,19 +591,38 @@ func (s *Server) parseSearch(r *http.Request) (desksearch.Query, int, error) {
 		// it maps to 400, never 500.
 		rank, err := desksearch.ParseRanking(v)
 		if err != nil {
-			return req, http.StatusBadRequest, err
+			return req, err
 		}
 		req.Ranking = rank
 	}
 	if v := params.Get("snippets"); v != "" {
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return req, http.StatusBadRequest, fmt.Errorf("invalid snippets %q (want a boolean)", v)
+			return req, fmt.Errorf("invalid snippets %q (want a boolean)", v)
 		}
 		req.Snippets = on
 	}
 	req.PathPrefix = params.Get("prefix")
-	return req, 0, nil
+	return req, nil
+}
+
+// ParseTimeout resolves a request's timeout parameter against a ceiling:
+// the parameter may shorten the ceiling but never exceed it, and an
+// unparseable or non-positive value is a client error. Shared by the
+// daemon's /search handler and the broker.
+func ParseTimeout(params url.Values, ceiling time.Duration) (time.Duration, error) {
+	t := params.Get("timeout")
+	if t == "" {
+		return ceiling, nil
+	}
+	d, err := time.ParseDuration(t)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid timeout %q", t)
+	}
+	if d < ceiling {
+		return d, nil
+	}
+	return ceiling, nil
 }
 
 // catalogStats returns Catalog.Stats memoized per generation. A snapshot
@@ -532,6 +674,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:    st.Misses,
 			Coalesced: st.Coalesced,
 			Evictions: st.Evictions,
+		}
+	}
+	if budget, used, ok := s.cat.BlockCache(); ok {
+		out.BlockCache = &BlockCacheStats{BudgetBytes: budget, UsedBytes: used}
+	}
+	out.PartitionTimings = s.partitionTimingStats()
+	if s.worker {
+		out.Worker = &WorkerStats{
+			Shards:      s.cat.PartitionIDs(),
+			TotalShards: s.cat.TotalShards(),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

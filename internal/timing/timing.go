@@ -1,0 +1,101 @@
+// Package timing provides a small concurrency-safe sliding window of
+// duration observations with order statistics — the shared primitive
+// behind dsearchd's per-partition timing summaries (/stats) and the
+// distributed broker's adaptive hedging and timeout policy, both of which
+// need "what have recent latencies looked like" rather than an all-time
+// aggregate that stale outliers would dominate forever.
+package timing
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWindowSize is the observation capacity NewWindow uses for a
+// non-positive size: large enough for stable p95 estimates, small enough
+// that a snapshot's sort is negligible next to a query.
+const DefaultWindowSize = 256
+
+// Window is a fixed-capacity ring of the most recent duration
+// observations. Safe for concurrent use.
+type Window struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	full  bool
+	count uint64
+}
+
+// NewWindow returns a window retaining the last size observations
+// (DefaultWindowSize when size is non-positive).
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	return &Window{buf: make([]time.Duration, size)}
+}
+
+// Observe records one duration, displacing the oldest observation once
+// the window is full.
+func (w *Window) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next, w.full = 0, true
+	}
+	w.count++
+	w.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded, including
+// ones that have since left the window.
+func (w *Window) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Summary is an order-statistics snapshot of a window's current contents.
+type Summary struct {
+	// Count is the lifetime observation count (not just the window's).
+	Count uint64
+	// Min, Median, P95, and Max summarize the retained observations.
+	// Median and P95 are nearest-rank order statistics.
+	Min, Median, P95, Max time.Duration
+}
+
+// Snapshot summarizes the window. ok is false when nothing has been
+// observed yet — the zero Summary carries no information then.
+func (w *Window) Snapshot() (s Summary, ok bool) {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	if n == 0 {
+		w.mu.Unlock()
+		return Summary{}, false
+	}
+	obs := make([]time.Duration, n)
+	copy(obs, w.buf[:n])
+	s.Count = w.count
+	w.mu.Unlock()
+
+	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+	s.Min = obs[0]
+	s.Max = obs[n-1]
+	s.Median = obs[(n-1)/2]
+	s.P95 = obs[(n-1)*95/100]
+	return s, true
+}
+
+// P95 returns the window's 95th-percentile observation, or fallback when
+// nothing has been observed — the broker's hedge-delay convenience.
+func (w *Window) P95(fallback time.Duration) time.Duration {
+	if s, ok := w.Snapshot(); ok {
+		return s.P95
+	}
+	return fallback
+}

@@ -1,0 +1,79 @@
+package timing
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyWindow(t *testing.T) {
+	w := NewWindow(8)
+	if _, ok := w.Snapshot(); ok {
+		t.Fatal("empty window reported a snapshot")
+	}
+	if got := w.P95(42 * time.Millisecond); got != 42*time.Millisecond {
+		t.Fatalf("empty P95 = %v, want fallback", got)
+	}
+}
+
+func TestOrderStatistics(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s, ok := w.Snapshot()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Min != 1*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Nearest-rank on 100 sorted values 1..100ms: median index 49 -> 50ms,
+	// p95 index 94 -> 95ms.
+	if s.Median != 50*time.Millisecond {
+		t.Fatalf("Median = %v, want 50ms", s.Median)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Fatalf("P95 = %v, want 95ms", s.P95)
+	}
+}
+
+func TestRingDisplacement(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Observe(time.Duration(i) * time.Second)
+	}
+	s, ok := w.Snapshot()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if s.Count != 10 {
+		t.Fatalf("Count = %d, want lifetime 10", s.Count)
+	}
+	// Window holds the last 4 observations: 7..10s.
+	if s.Min != 7*time.Second || s.Max != 10*time.Second {
+		t.Fatalf("window holds %v..%v, want 7s..10s", s.Min, s.Max)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	w := NewWindow(0) // default size
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(time.Millisecond)
+				w.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
