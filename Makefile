@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION ?= latest
 # The bench-regression gate: which benchmarks are compared against
 # bench_baseline.json, and how they are run. -count=3 with benchcheck's
 # min-of-runs parsing keeps single noisy runs from tripping the gate.
-BENCH_GATE = ^(BenchmarkTopKQuery|BenchmarkShardedBuild|BenchmarkBM25Query|BenchmarkSuggest|BenchmarkSnippets|BenchmarkColdOpen)$$
+BENCH_GATE = ^(BenchmarkTopKQuery|BenchmarkShardedBuild|BenchmarkBM25Query|BenchmarkSuggest|BenchmarkSnippets|BenchmarkColdOpen|BenchmarkSelectiveAND|BenchmarkWANDTopK)$$
 BENCH_GATE_FLAGS = -run '^$$' -bench '$(BENCH_GATE)' -benchtime=10x -count=3
 
 .PHONY: build test vet fmt lint vuln bench bench-check bench-baseline docs-check ci

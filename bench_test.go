@@ -934,6 +934,132 @@ func BenchmarkPositionalBuild(b *testing.B) {
 	}
 }
 
+// ---- streaming evaluation: selective AND and WAND top-k ----
+
+var (
+	skewOnce  sync.Once
+	skewEager *Catalog
+	skewLazy  *Catalog
+)
+
+// skewCatalogs builds a frequency-skewed corpus — "common" in all 4000
+// documents, "rare" in every 100th — as both an eager (heap) catalog
+// and a lazy OpenDir catalog over its saved directory. The lazy catalog
+// gets a minimal block cache so every operation pays its real decode
+// cost: the blocks/op metrics below measure the algorithm, not the
+// cache.
+func skewCatalogs(b *testing.B) (eager, lazy *Catalog) {
+	b.Helper()
+	skewOnce.Do(func() {
+		fs := vfs.NewMemFS()
+		for i := 0; i < 4000; i++ {
+			var sb strings.Builder
+			for r := 0; r <= i%3; r++ {
+				sb.WriteString("common ")
+			}
+			if i%100 == 0 {
+				sb.WriteString("rare ")
+			}
+			fmt.Fprintf(&sb, "filler%03d tail%d", i%97, i%13)
+			if err := fs.WriteFile(fmt.Sprintf("d/%04d.txt", i), []byte(sb.String())); err != nil {
+				panic(err)
+			}
+		}
+		cat, err := IndexFS(fs, ".", Options{Shards: 4})
+		if err != nil {
+			panic(err)
+		}
+		dir, err := os.MkdirTemp("", "desksearch-skew-")
+		if err != nil {
+			panic(err)
+		}
+		if err := cat.SaveDir(dir); err != nil {
+			panic(err)
+		}
+		lz, err := OpenDir(dir, Options{BlockCacheBytes: 1})
+		if err != nil {
+			panic(err)
+		}
+		skewEager, skewLazy = cat, lz
+	})
+	return skewEager, skewLazy
+}
+
+// lazyBlockDecodes sums the posting-block decode counters across a lazy
+// catalog's segment readers.
+func lazyBlockDecodes(cat *Catalog) uint64 {
+	var n uint64
+	for _, r := range cat.lazy.Readers() {
+		n += r.BlockDecodes()
+	}
+	return n
+}
+
+// benchSkewQuery runs one skewed-corpus query on the eager and lazy
+// backends plus the full-lists baseline — decoding every queried term's
+// entire posting list, the work the pre-streaming evaluator did per
+// query — reporting blocks/op on the lazy-backend arms. The bench gate
+// holds lazy blocks/op under half of full-lists (see bench_baseline.json).
+func benchSkewQuery(b *testing.B, req Query, terms []string) {
+	eager, lazy := skewCatalogs(b)
+	ctx := context.Background()
+	if _, err := eager.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lazy.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eager.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		start := lazyBlockDecodes(lazy)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lazy.Query(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(lazyBlockDecodes(lazy)-start)/float64(b.N), "blocks/op")
+	})
+	b.Run("full-lists", func(b *testing.B) {
+		readers := lazy.lazy.Readers()
+		start := lazyBlockDecodes(lazy)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range readers {
+				for _, term := range terms {
+					r.Lookup(term)
+				}
+			}
+		}
+		b.ReportMetric(float64(lazyBlockDecodes(lazy)-start)/float64(b.N), "blocks/op")
+	})
+}
+
+// BenchmarkSelectiveAND measures the streaming conjunction on the
+// skewed corpus: "rare common" matches 40 of 4000 documents, so the
+// galloping intersection driven by the rare term touches a fraction of
+// the common term's postings — and on the lazy backend decodes no
+// posting blocks at all, where materializing both lists would decode
+// every touched block per query.
+func BenchmarkSelectiveAND(b *testing.B) {
+	benchSkewQuery(b, Query{Text: "rare common", Limit: 10}, []string{"rare", "common"})
+}
+
+// BenchmarkWANDTopK measures BM25 bounded retrieval with max-score
+// skipping on the same conjunction: match enumeration streams, and
+// per-scorer score ceilings let documents that provably cannot enter
+// the page stop scoring early, so the lazy backend again decodes no
+// blocks where full-list evaluation decodes them all.
+func BenchmarkWANDTopK(b *testing.B) {
+	benchSkewQuery(b, Query{Text: "rare common", Ranking: RankBM25, Limit: 10}, []string{"rare", "common"})
+}
+
 // ---- facade benchmark ----
 
 func BenchmarkIndexFS(b *testing.B) {

@@ -1,7 +1,8 @@
 // Command benchcheck is the CI bench-regression gate: it parses `go test
-// -bench` output from stdin, compares every benchmark named in a
-// checked-in baseline against its recorded ns/op, and fails when any of
-// them regressed past the tolerance.
+// -bench` output from stdin — every reported measurement, ns/op and
+// custom b.ReportMetric units alike — compares every benchmark named in
+// a checked-in baseline against its recorded ns/op, and fails when any
+// of them regressed past the tolerance.
 //
 // Usage:
 //
@@ -18,9 +19,17 @@
 //	  },
 //	  "ratios": [
 //	    {"name": "BenchmarkTopKQuery/limit-10",
-//	     "of": "BenchmarkTopKQuery/full-sort", "max": 0.85}
+//	     "of": "BenchmarkTopKQuery/full-sort", "max": 0.85},
+//	    {"name": "BenchmarkSelectiveAND/lazy",
+//	     "of": "BenchmarkSelectiveAND/full-lists",
+//	     "metric": "blocks/op", "max": 0.5}
 //	  ]
 //	}
+//
+// A ratio's optional "metric" selects which measurement the two sides
+// compare (default ns/op); custom units let a gate pin claims about work
+// done — posting blocks decoded, bytes allocated — rather than time
+// taken, which makes them immune to runner speed entirely.
 //
 // Baselines record bare benchmark names (-update strips this machine's
 // -GOMAXPROCS decoration), and lookups tolerate the decoration on the
@@ -68,17 +77,24 @@ type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-// Ratio asserts that Name's ns/op stays below Max times Of's ns/op.
+// Ratio asserts that Name's measurement stays below Max times Of's.
 type Ratio struct {
 	Name string  `json:"name"`
 	Of   string  `json:"of"`
 	Max  float64 `json:"max"`
+	// Metric selects which reported measurement the ratio compares —
+	// ns/op when empty, or any custom b.ReportMetric unit (blocks/op),
+	// which gates work done rather than time taken.
+	Metric string `json:"metric,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line:
 //
 //	BenchmarkName/sub-8   	     100	   1234567 ns/op	  3 extra/metric
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+//
+// The tail is a sequence of "value unit" measurement pairs — ns/op
+// first, then any custom metrics — parsed in full by parse.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
 
 // procSuffix is the trailing -GOMAXPROCS decoration on benchmark names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -128,7 +144,7 @@ func main() {
 	failed := 0
 	for _, name := range names {
 		want := base.Benchmarks[name].NsPerOp
-		got, ok := lookup(measured, name)
+		got, ok := lookup(measured, name, "ns/op")
 		if !ok {
 			fmt.Printf("FAIL  %-45s not measured (baseline %s)\n", name, fmtNs(want))
 			failed++
@@ -147,9 +163,13 @@ func main() {
 		}
 	}
 	for _, r := range base.Ratios {
-		got, okA := lookup(measured, r.Name)
-		of, okB := lookup(measured, r.Of)
-		label := fmt.Sprintf("%s / %s", r.Name, r.Of)
+		metric := r.Metric
+		if metric == "" {
+			metric = "ns/op"
+		}
+		got, okA := lookup(measured, r.Name, metric)
+		of, okB := lookup(measured, r.Of, metric)
+		label := fmt.Sprintf("%s / %s (%s)", r.Name, r.Of, metric)
 		if !okA || !okB {
 			fmt.Printf("FAIL  %s: not measured\n", label)
 			failed++
@@ -171,12 +191,14 @@ func main() {
 	fmt.Printf("benchcheck: %d gates passed (tolerance +%.0f%%)\n", len(names)+len(base.Ratios), tol*100)
 }
 
-// parse reads `go test -bench` output and returns raw name → ns/op. A
-// benchmark that appears more than once (e.g. -count > 1) keeps its
-// fastest run: the gate asks "can the machine still go this fast", and
-// the minimum is the least noisy answer.
-func parse(f *os.File) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parse reads `go test -bench` output and returns raw name → metric →
+// value, capturing every "value unit" pair on each result line (ns/op,
+// B/op, and custom b.ReportMetric units alike). A benchmark that appears
+// more than once (e.g. -count > 1) keeps each metric's minimum: the gate
+// asks "can the machine still go this fast" (or "can the algorithm still
+// be this cheap"), and the minimum is the least noisy answer.
+func parse(f *os.File) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -184,12 +206,21 @@ func parse(f *os.File) (map[string]float64, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchcheck: bad ns/op in %q: %v", sc.Text(), err)
-		}
-		if old, ok := out[m[1]]; !ok || ns < old {
-			out[m[1]] = ns
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcheck: bad measurement in %q: %v", sc.Text(), err)
+			}
+			mm := out[m[1]]
+			if mm == nil {
+				mm = make(map[string]float64)
+				out[m[1]] = mm
+			}
+			unit := fields[i+1]
+			if old, ok := mm[unit]; !ok || v < old {
+				mm[unit] = v
+			}
 		}
 	}
 	return out, sc.Err()
@@ -201,13 +232,15 @@ func parse(f *os.File) (map[string]float64, error) {
 // unconditionally — sub-benchmark names legitimately end in digits
 // ("limit-10", "shards-4"), and on a GOMAXPROCS=1 machine (which emits
 // bare names) a blind strip would eat the real name.
-func lookup(measured map[string]float64, name string) (float64, bool) {
-	if ns, ok := measured[name]; ok {
-		return ns, true
+func lookup(measured map[string]map[string]float64, name, metric string) (float64, bool) {
+	if mm, ok := measured[name]; ok {
+		v, ok := mm[metric]
+		return v, ok
 	}
-	for raw, ns := range measured {
+	for raw, mm := range measured {
 		if procSuffix.ReplaceAllString(raw, "") == name {
-			return ns, true
+			v, ok := mm[metric]
+			return v, ok
 		}
 	}
 	return 0, false
@@ -228,7 +261,7 @@ func readBaseline(path string) (*Baseline, error) {
 	return &base, nil
 }
 
-func writeBaseline(path string, measured map[string]float64, tolerance float64) error {
+func writeBaseline(path string, measured map[string]map[string]float64, tolerance float64) error {
 	base := Baseline{Tolerance: tolerance, Benchmarks: make(map[string]Entry, len(measured))}
 	// A refresh keeps the existing file's ratio gates (they are hand-written
 	// claims, not measurements) and, unless overridden, its tolerance;
@@ -247,7 +280,11 @@ func writeBaseline(path string, measured map[string]float64, tolerance float64) 
 	// test run, so the decoration to strip is exactly known — no
 	// guessing against sub-benchmark names that end in digits.
 	proc := fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
-	for name, ns := range measured {
+	for name, mm := range measured {
+		ns, ok := mm["ns/op"]
+		if !ok {
+			continue
+		}
 		name = strings.TrimSuffix(name, proc)
 		if old, ok := base.Benchmarks[name]; !ok || ns < old.NsPerOp {
 			base.Benchmarks[name] = Entry{NsPerOp: ns}

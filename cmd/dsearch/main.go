@@ -8,7 +8,11 @@
 //
 // -index accepts either a single index file or a sharded index directory
 // (a manifest plus segments, as written by indexgen -shards); -shards
-// partitions an on-the-fly index for parallel fan-out search.
+// partitions an on-the-fly index for parallel fan-out search. With a
+// sharded directory, -lazy opens the index in place (OpenDir) instead of
+// materializing it: posting blocks decode on first touch only, so a
+// selective query over a large index starts answering without paying the
+// full load. Results are bit-identical either way.
 //
 // Queries are boolean: terms AND together, OR/NOT (or a leading '-'),
 // parentheses, and quoted phrases work as expected:
@@ -52,6 +56,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "with -root, partition the index into N document shards")
 		formats   = flag.Bool("formats", false, "strip HTML/WP markup while indexing")
 		pos       = flag.Bool("positions", false, "with -root, record token positions so quoted phrase queries work")
+		lazy      = flag.Bool("lazy", false, "with -index DIR, serve the index in place without materializing it (decode only the posting blocks the query touches)")
 		limit     = flag.Int("n", 20, "maximum results to return (0 = all)")
 		offset    = flag.Int("offset", 0, "skip this many ranked results (pagination)")
 		rank      = flag.String("rank", "count", "ranking mode: count (distinct matched terms), tf (term frequency), or bm25 (relevance)")
@@ -79,8 +84,12 @@ func main() {
 	var cat *desksearch.Catalog
 	switch {
 	case *indexPath != "":
-		cat, err = loadIndex(*indexPath)
+		cat, err = loadIndex(*indexPath, *lazy)
 	default:
+		if *lazy {
+			fmt.Fprintln(os.Stderr, "dsearch: -lazy requires -index DIR (an on-the-fly index is already in memory)")
+			os.Exit(2)
+		}
 		cat, err = desksearch.IndexDir(*root, desksearch.Options{Formats: *formats, Shards: *shards, Positions: *pos})
 	}
 	if err != nil {
@@ -192,14 +201,21 @@ func highlightSnippet(sn *desksearch.Snippet) string {
 }
 
 // loadIndex reads a catalog from path: a sharded index directory when path
-// is a directory, a single index file otherwise.
-func loadIndex(path string) (*desksearch.Catalog, error) {
+// is a directory (opened in place when lazy), a single index file
+// otherwise.
+func loadIndex(path string, lazy bool) (*desksearch.Catalog, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	if info.IsDir() {
+		if lazy {
+			return desksearch.OpenDir(path)
+		}
 		return desksearch.LoadDir(path)
+	}
+	if lazy {
+		return nil, fmt.Errorf("-lazy requires a sharded index directory, not a single index file")
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -147,12 +147,68 @@ func (o Options) coreConfig() (core.Config, error) {
 	return cfg, nil
 }
 
-// Result is one search hit of the v1 Search API.
-type Result struct {
-	// Path is the matched file, relative to the indexed root.
-	Path string
-	// Score counts how many distinct query terms the file contains.
-	Score int
+// Sentinel evaluation errors, re-exported so callers can errors.Is
+// against them without reaching into internal packages. Query and
+// DocFreqs return them wrapped in a *QueryError carrying the matching
+// stable code.
+var (
+	// ErrNoPositions reports a phrase query or snippet request against a
+	// catalog built without Options.Positions.
+	ErrNoPositions = search.ErrNoPositions
+	// ErrNoDocLengths reports a BM25-ranked request against a catalog
+	// whose file table carries no document lengths (pre-v9 DSIX).
+	ErrNoDocLengths = search.ErrNoDocLengths
+	// ErrPrefixTooBroad reports a prefix operator that expanded to more
+	// dictionary terms than the request's MaxPrefixTerms cap.
+	ErrPrefixTooBroad = search.ErrPrefixTooBroad
+)
+
+// QueryErrorCode is the stable, wire-safe name of a query failure class.
+// Codes are part of the API: transports map them to statuses and clients
+// may switch on them, so existing values never change meaning.
+type QueryErrorCode string
+
+const (
+	// CodeNoPositions: phrase or snippet request, position-free catalog.
+	CodeNoPositions QueryErrorCode = "no_positions"
+	// CodeNoDocLengths: BM25 request, catalog without document lengths.
+	CodeNoDocLengths QueryErrorCode = "no_doc_lengths"
+	// CodePrefixTooBroad: prefix operator over the expansion cap.
+	CodePrefixTooBroad QueryErrorCode = "prefix_too_broad"
+)
+
+// QueryError is a typed, deterministic query rejection: the same request
+// against the same catalog state fails the same way on every replica.
+// Err is the underlying sentinel (ErrNoPositions, ErrNoDocLengths,
+// ErrPrefixTooBroad), so errors.Is sees through the wrapper; Code is the
+// stable name transports key status mappings on — internal/server owns
+// the one code→HTTP table.
+type QueryError struct {
+	Code QueryErrorCode
+	Err  error
+}
+
+func (e *QueryError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the sentinel to errors.Is/errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// wrapQueryError attaches the stable code to a recognized deterministic
+// evaluation error; anything else (context cancellation, validation)
+// passes through untouched.
+func wrapQueryError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, search.ErrNoPositions):
+		return &QueryError{Code: CodeNoPositions, Err: err}
+	case errors.Is(err, search.ErrNoDocLengths):
+		return &QueryError{Code: CodeNoDocLengths, Err: err}
+	case errors.Is(err, search.ErrPrefixTooBroad):
+		return &QueryError{Code: CodePrefixTooBroad, Err: err}
+	default:
+		return err
+	}
 }
 
 // Ranking selects how Query scores hits.
@@ -259,6 +315,13 @@ type Query struct {
 	// Options.Positions (the same error phrase queries give otherwise) and
 	// a positive Limit.
 	Snippets bool
+	// MaxPrefixTerms caps how many dictionary terms a single prefix
+	// operator ("repor*") may expand to before the request fails with
+	// ErrPrefixTooBroad (code prefix_too_broad); 0 applies the default of
+	// 1024. The cap is per operator and per partition, bounds both
+	// evaluation and DocFreqs, and is part of the Normalize cache key —
+	// the same text under a different cap is a different request.
+	MaxPrefixTerms int
 	// GlobalDF, when non-nil with RankBM25, supplies the corpus-wide
 	// document-frequency statistics to score with instead of aggregating
 	// them from this catalog — the distributed-serving hook. A broker
@@ -295,6 +358,9 @@ func (q Query) Normalize() (Query, string, error) {
 	if q.Offset < 0 {
 		return q, "", fmt.Errorf("desksearch: negative offset %d", q.Offset)
 	}
+	if q.MaxPrefixTerms < 0 {
+		return q, "", fmt.Errorf("desksearch: negative max prefix terms %d", q.MaxPrefixTerms)
+	}
 	switch q.Ranking {
 	case RankCount, RankTF, RankBM25:
 	default:
@@ -309,12 +375,13 @@ func (q Query) Normalize() (Query, string, error) {
 	}
 	// PathPrefix is the one free-form field (an HTTP ?prefix= parameter can
 	// carry any byte, the \x00 field separator included), so it is
-	// length-prefixed: the key stays injective in its fields no matter what
-	// the prefix contains, and no future field appended after it can be
-	// impersonated by a crafted prefix. The ranking is keyed by wire name,
-	// not integer, so the key survives any renumbering of the enum.
-	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%s\x00snippets=%t\x00prefix=%d:%s",
-		q.Expr.String(), q.Limit, q.Offset, q.Ranking, q.Snippets, len(q.PathPrefix), q.PathPrefix)
+	// length-prefixed AND kept last: the key stays injective in its fields
+	// no matter what the prefix contains, and no future field appended
+	// after the fixed-form ones can be impersonated by a crafted prefix.
+	// The ranking is keyed by wire name, not integer, so the key survives
+	// any renumbering of the enum.
+	key := fmt.Sprintf("%s\x00limit=%d\x00offset=%d\x00rank=%s\x00snippets=%t\x00maxprefix=%d\x00prefix=%d:%s",
+		q.Expr.String(), q.Limit, q.Offset, q.Ranking, q.Snippets, q.MaxPrefixTerms, len(q.PathPrefix), q.PathPrefix)
 	return q, key, nil
 }
 
@@ -465,31 +532,6 @@ func (c *Catalog) partitionsLocked() []index.Partition {
 	return index.Partitions(c.result.Indexes())
 }
 
-// Search runs a boolean query and returns every hit ordered by score: a
-// compatibility wrapper over the Query machinery with no limit, no
-// offset, coordination ranking, and no matched-term metadata (Result
-// never carried it, so the engine is told not to build it).
-//
-// Deprecated: use Query, which adds cancellation, pagination with bounded
-// top-k retrieval, ranking modes, and per-partition metadata.
-func (c *Catalog) Search(query string) ([]Result, error) {
-	q, err := search.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.engine.Query(context.Background(), search.Request{Query: q, OmitTerms: true})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, len(resp.Hits))
-	for i, h := range resp.Hits {
-		// Coordination scores are distinct-term counts — exact small
-		// integers even as float64 — so the v1 int narrows losslessly.
-		out[i] = Result{Path: h.Path, Score: int(h.Score)}
-	}
-	return out, nil
-}
-
 // Query evaluates a v2 search request. The query fans out with one
 // goroutine per partition; each keeps only its local top Limit+Offset
 // hits in a bounded min-heap, and the per-partition ranked lists are
@@ -518,16 +560,17 @@ func (c *Catalog) Query(ctx context.Context, q Query) (*Response, error) {
 		return nil, fmt.Errorf("desksearch: unknown ranking mode %d", int(q.Ranking))
 	}
 	resp, err := c.engine.Query(ctx, search.Request{
-		Query:      expr.q,
-		Limit:      q.Limit,
-		Offset:     q.Offset,
-		Ranking:    ranking,
-		PathPrefix: q.PathPrefix,
-		Snippets:   q.Snippets,
-		GlobalDF:   q.GlobalDF,
+		Query:          expr.q,
+		Limit:          q.Limit,
+		Offset:         q.Offset,
+		Ranking:        ranking,
+		PathPrefix:     q.PathPrefix,
+		Snippets:       q.Snippets,
+		MaxPrefixTerms: q.MaxPrefixTerms,
+		GlobalDF:       q.GlobalDF,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapQueryError(err)
 	}
 	out := &Response{
 		Hits:       make([]Hit, len(resp.Hits)),
@@ -568,7 +611,11 @@ func (c *Catalog) DocFreqs(ctx context.Context, q Query) (*DocFreqs, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.engine.DocFreqs(ctx, q.Expr.q)
+	df, err := c.engine.DocFreqs(ctx, q.Expr.q, q.MaxPrefixTerms)
+	if err != nil {
+		return nil, wrapQueryError(err)
+	}
+	return df, nil
 }
 
 // Suggest returns up to n indexed terms starting with prefix — the

@@ -33,9 +33,12 @@
 // sort), a Ranking mode (distinct-term coordination counts or summed term
 // frequencies), and an optional path-prefix filter; responses carry the
 // page of hits with matched-term metadata, the total match count, and
-// per-partition timings. The context cancels or bounds the query. The
-// deprecated Search remains as a compatibility wrapper returning every
-// hit, coordination-ranked.
+// per-partition timings. The context cancels or bounds the query.
+// Evaluation failures are typed: errors.As against *QueryError exposes a
+// stable machine-readable Code alongside the sentinel the error wraps
+// (ErrNoPositions, ErrNoDocLengths, ErrPrefixTooBroad). The v1 Search
+// wrapper is gone — a zero-control Query reproduces it exactly (every
+// hit, coordination-ranked).
 //
 // The query grammar supports implicit AND, OR, NOT (or a leading '-'),
 // parentheses, and quoted phrases: `"annual report" -draft` matches files

@@ -364,6 +364,9 @@ func TestBrokerDeterministicErrors(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Fatalf("phrase query on positionless fleet = %d (%v), want 400", status, body)
 	}
+	if body["code"] != string(desksearch.CodeNoPositions) {
+		t.Fatalf("worker error code %v not forwarded through broker, want %q", body["code"], desksearch.CodeNoPositions)
+	}
 	if b.failovers.Load() != 0 {
 		t.Fatalf("deterministic 4xx caused %d failovers, want 0", b.failovers.Load())
 	}

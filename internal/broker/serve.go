@@ -34,6 +34,7 @@ func (b *Broker) Handler() http.Handler {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -57,7 +58,7 @@ func writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
 	var we *WorkerError
 	switch {
 	case errors.As(err, &we):
-		writeError(w, we.Status, "%s", we.Message)
+		writeJSON(w, we.Status, errorResponse{Error: we.Message, Code: we.Code})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "query timed out after %s", timeout)
 	case errors.Is(err, context.Canceled):
@@ -124,18 +125,19 @@ func (b *Broker) query(ctx context.Context, req desksearch.Query) (*server.Searc
 	var df *server.DFPayload
 	if req.Ranking == desksearch.RankBM25 && len(b.groups) > 1 {
 		var err error
-		if df, err = b.gatherDF(ctx, canonical); err != nil {
+		if df, err = b.gatherDF(ctx, canonical, req.MaxPrefixTerms); err != nil {
 			return nil, err
 		}
 	}
 
 	body, err := json.Marshal(server.InternalSearchRequest{
-		Query:      canonical,
-		Limit:      k,
-		Rank:       req.Ranking.String(),
-		PathPrefix: req.PathPrefix,
-		Snippets:   req.Snippets,
-		DF:         df,
+		Query:          canonical,
+		Limit:          k,
+		Rank:           req.Ranking.String(),
+		PathPrefix:     req.PathPrefix,
+		Snippets:       req.Snippets,
+		MaxPrefixTerms: req.MaxPrefixTerms,
+		DF:             df,
 	})
 	if err != nil {
 		return nil, err
@@ -224,9 +226,13 @@ func (b *Broker) query(ctx context.Context, req desksearch.Query) (*server.Searc
 
 // gatherDF fans phase one out to every group and sums the local
 // document-frequency vectors into the corpus-global payload phase two
-// attaches.
-func (b *Broker) gatherDF(ctx context.Context, canonical string) (*server.DFPayload, error) {
+// attaches. The client's prefix-expansion cap rides along so phase one
+// rejects an over-broad prefix at the same threshold phase two would.
+func (b *Broker) gatherDF(ctx context.Context, canonical string, maxPrefixTerms int) (*server.DFPayload, error) {
 	path := "/internal/df?q=" + url.QueryEscape(canonical)
+	if maxPrefixTerms > 0 {
+		path += "&max_prefix_terms=" + strconv.Itoa(maxPrefixTerms)
+	}
 	dfs := make([]*server.DFResponse, len(b.groups))
 	errs := make([]error, len(b.groups))
 	var wg sync.WaitGroup

@@ -41,6 +41,10 @@ func newHTTPClient() httpDoer {
 type WorkerError struct {
 	Status  int
 	Message string
+	// Code is the worker's machine-readable error code ("prefix_too_broad",
+	// "no_positions", ...), forwarded verbatim so clients behind the broker
+	// can branch on it exactly as they would against a single node.
+	Code string
 }
 
 func (e *WorkerError) Error() string {
@@ -72,20 +76,22 @@ func (b *Broker) do(ctx context.Context, method, url string, body []byte) (statu
 	return resp.StatusCode, data, nil
 }
 
-// decodeErrorBody extracts the server's {"error": ...} message, falling
-// back to the raw body.
-func decodeErrorBody(body []byte) string {
+// decodeErrorBody extracts the server's {"error": ..., "code": ...}
+// message and optional machine-readable code, falling back to the raw
+// body.
+func decodeErrorBody(body []byte) (msg, code string) {
 	var e struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return e.Error
+		return e.Error, e.Code
 	}
 	s := string(body)
 	if len(s) > 200 {
 		s = s[:200]
 	}
-	return s
+	return s, ""
 }
 
 // fetchMeta retrieves one worker's /internal/meta.
@@ -96,7 +102,8 @@ func (b *Broker) fetchMeta(ctx context.Context, base string) (WorkerMetaView, er
 		return m, err
 	}
 	if status != http.StatusOK {
-		return m, fmt.Errorf("HTTP %d: %s", status, decodeErrorBody(body))
+		msg, _ := decodeErrorBody(body)
+		return m, fmt.Errorf("HTTP %d: %s", status, msg)
 	}
 	if err := json.Unmarshal(body, &m); err != nil {
 		return m, fmt.Errorf("malformed meta: %w", err)
@@ -177,11 +184,13 @@ func (b *Broker) doGroup(ctx context.Context, g *group, method, path string, bod
 				}
 				return nil
 			case res.err == nil && res.status >= 400 && res.status < 500:
-				return &WorkerError{Status: res.status, Message: decodeErrorBody(res.body)}
+				msg, code := decodeErrorBody(res.body)
+				return &WorkerError{Status: res.status, Message: msg, Code: code}
 			default:
 				err := res.err
 				if err == nil {
-					err = fmt.Errorf("HTTP %d: %s", res.status, decodeErrorBody(res.body))
+					msg, _ := decodeErrorBody(res.body)
+					err = fmt.Errorf("HTTP %d: %s", res.status, msg)
 				}
 				lastErr = fmt.Errorf("%s: %w", cands[res.idx].url, err)
 				// A connection-level failure delists the replica until the

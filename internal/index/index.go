@@ -251,6 +251,18 @@ func (ix *Index) Lookup(term string) *postings.List {
 	return l
 }
 
+// Iterator returns a streaming cursor over term's in-memory posting
+// list, or nil if the term is absent. The cursor reads the index's own
+// storage: valid only while the index is unmutated (the engine's read
+// lock guarantees that for query evaluation).
+func (ix *Index) Iterator(term string) PostingIterator {
+	l := ix.Lookup(term)
+	if l == nil {
+		return nil
+	}
+	return postings.NewIterator(l)
+}
+
 // DocFreq returns term's document frequency (its posting-list length), or
 // 0 if the term is absent.
 func (ix *Index) DocFreq(term string) int {

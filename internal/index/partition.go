@@ -21,6 +21,17 @@ type Partition interface {
 	// returned list is shared storage — callers must not modify it.
 	Lookup(term string) *postings.List
 
+	// Iterator returns a streaming cursor over term's postings, or nil
+	// when the term is absent — or, on a lazy backend, when its block is
+	// corrupt, mirroring Lookup's corrupt-means-absent contract. Unlike
+	// Lookup, a lazy backend answers without materializing the list:
+	// SeekGE rides the block's skip table, so an intersection that visits
+	// a fraction of the postings decodes a fraction of the bytes. The
+	// iterator is single-use, forward-only, and valid only while the
+	// partition is open and unmutated (queries hold the engine's read
+	// lock, which guarantees both).
+	Iterator(term string) PostingIterator
+
 	// DocFreq returns the number of postings (documents) for term, 0 if
 	// absent. Equivalent to Lookup(term).Len() but, on a lazy backend,
 	// answered from the term dictionary without decoding the posting
@@ -62,6 +73,43 @@ type Partition interface {
 	// a lazy segment. It is an estimate for observability (/stats), not
 	// an accounting guarantee.
 	ResidentBytes() int64
+}
+
+// PostingIterator is a forward-only streaming cursor over one term's
+// posting list — the seam that lets boolean evaluation skip postings it
+// can prove irrelevant instead of decoding whole lists. Both backends
+// implement it: the heap index over its in-memory lists
+// (postings.Iterator), the lazy segment straight off the raw block bytes
+// (segment.Iter), where SeekGE jumps via the per-block skip table.
+//
+// The cursor starts positioned before the first posting; ID/Count are
+// valid only after a Next or SeekGE returned true. SeekGE never moves
+// backwards: SeekGE(id) with the cursor already at or past id is a
+// no-op returning true.
+type PostingIterator interface {
+	// Next advances to the next posting, returning false once exhausted.
+	Next() bool
+
+	// SeekGE advances to the first posting with ID >= id — never moving
+	// backwards — and reports whether one exists.
+	SeekGE(id postings.FileID) bool
+
+	// ID returns the current posting's document ID.
+	ID() postings.FileID
+
+	// Count returns the current posting's term frequency (>= 1).
+	Count() uint32
+
+	// MaxCount returns an upper bound on Count over the whole list, or
+	// postings.NoMaxCount when the backend cannot bound it without
+	// decoding work. WAND turns this into a per-term max-score; an
+	// unbounded term falls back to BM25's tf→∞ saturation limit, which
+	// is still a sound (just looser) bound.
+	MaxCount() uint32
+
+	// Len returns the list's total posting count (the term's document
+	// frequency), available without consuming the cursor.
+	Len() int
 }
 
 // Partitions adapts a slice of concrete heap indices to the interface the

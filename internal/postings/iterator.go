@@ -1,0 +1,107 @@
+package postings
+
+import "sort"
+
+// NoMaxCount is the MaxCount sentinel of iterators that cannot bound
+// their per-posting frequencies without doing the decoding work they
+// exist to avoid. Consumers must fall back to a frequency-independent
+// bound (for BM25, the tf→∞ saturation limit).
+const NoMaxCount = ^uint32(0)
+
+// Iterator is a forward-only streaming cursor over a decoded posting
+// list. SeekGE gallops — an exponential probe from the current position
+// bracketing the target, then a binary search inside the bracket — so a
+// run of seeks costs O(Σ log gap) comparisons no matter how the gaps are
+// distributed: near-linear when the driven list interleaves tightly with
+// the driver, logarithmic per seek when it is jumped over in large
+// strides. The iterator reads the list in place; the list must not be
+// mutated while a cursor is live.
+type Iterator struct {
+	l        *List
+	i        int    // current posting index; -1 before the first Next/SeekGE
+	maxCount uint32 // memoized MaxCount; 0 = not yet computed
+}
+
+// NewIterator returns a cursor positioned before l's first posting. A
+// nil l iterates the empty list.
+func NewIterator(l *List) *Iterator {
+	if l == nil {
+		l = &List{}
+	}
+	return &Iterator{l: l, i: -1}
+}
+
+// Next advances to the next posting, returning false once the list is
+// exhausted.
+func (it *Iterator) Next() bool {
+	if it.i+1 >= len(it.l.ids) {
+		it.i = len(it.l.ids)
+		return false
+	}
+	it.i++
+	return true
+}
+
+// SeekGE advances to the first posting with ID >= id — never moving
+// backwards — and reports whether one exists.
+func (it *Iterator) SeekGE(id FileID) bool {
+	ids := it.l.ids
+	n := len(ids)
+	i := it.i
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		it.i = n
+		return false
+	}
+	if ids[i] >= id {
+		it.i = i
+		return true
+	}
+	// Gallop: double the probe distance until it brackets the target,
+	// then binary-search the half-open bracket. Entering here ids[i] < id.
+	bound := 1
+	for i+bound < n && ids[i+bound] < id {
+		bound <<= 1
+	}
+	lo := i + bound/2 + 1 // ids[i+bound/2] < id held on the prior probe
+	hi := i + bound
+	if hi > n-1 {
+		hi = n - 1
+	}
+	j := lo + sort.Search(hi+1-lo, func(k int) bool { return ids[lo+k] >= id })
+	it.i = j
+	return j < n
+}
+
+// ID returns the current posting's file ID; valid only after a true
+// Next/SeekGE.
+func (it *Iterator) ID() FileID { return it.l.ids[it.i] }
+
+// Count returns the current posting's term frequency; valid only after a
+// true Next/SeekGE.
+func (it *Iterator) Count() uint32 { return it.l.CountAt(it.i) }
+
+// Len returns the list's total posting count (the term's document
+// frequency).
+func (it *Iterator) Len() int { return len(it.l.ids) }
+
+// MaxCount returns the largest per-posting frequency in the list: 1 for
+// boolean lists, otherwise a memoized single scan. It never returns
+// NoMaxCount — the list is already decoded, so the exact bound is cheap.
+func (it *Iterator) MaxCount() uint32 {
+	if it.maxCount != 0 {
+		return it.maxCount
+	}
+	max := uint32(1)
+	if it.l.counts != nil || it.l.positions != nil {
+		for i := range it.l.ids {
+			if c := it.l.CountAt(i); c > max {
+				max = c
+			}
+		}
+	}
+	it.maxCount = max
+	return max
+}

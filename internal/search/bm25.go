@@ -57,6 +57,25 @@ func (s *bm25Stats) score(idf float64, tf, dl uint32) float64 {
 	return idf * (t * (bm25K1 + 1)) / (t + bm25K1*(1-bm25B+bm25B*float64(dl)/s.avgdl))
 }
 
+// maxScore returns an upper bound on score(idf, tf, dl) over every
+// tf <= maxTF and every document length: dl >= 0 shrinks the denominator
+// to at most tf + k1·(1−b), and tf/(tf+c) is increasing in tf, so
+//
+//	idf · maxTF·(k1+1) / (maxTF + k1·(1−b))
+//
+// dominates every achievable contribution. postings.NoMaxCount (a
+// backend that cannot bound tf without decoding) falls back to the tf→∞
+// saturation limit idf·(k1+1), which bounds the ratio for every tf. idf
+// is nonnegative by construction (the Lucene ln(1+x) variant), so the
+// bound is too.
+func (s *bm25Stats) maxScore(idf float64, maxTF uint32) float64 {
+	if maxTF == postings.NoMaxCount {
+		return idf * (bm25K1 + 1)
+	}
+	t := float64(maxTF)
+	return idf * (t * (bm25K1 + 1)) / (t + bm25K1*(1-bm25B))
+}
+
 // computeBM25Stats aggregates document frequencies across the engine's
 // partitions and derives the request's IDFs and average document length.
 // expansions are the per-partition prefix expansion unions (nil when the

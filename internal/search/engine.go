@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"desksearch/internal/index"
@@ -416,37 +417,9 @@ func (env *evalEnv) eval(n node) (*postings.List, error) {
 	case phraseNode:
 		return evalPhrase(env.ix, v.terms)
 	case andNode:
-		acc, err := env.eval(v.kids[0])
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range v.kids[1:] {
-			if acc.Len() == 0 || env.ctx.Err() != nil {
-				return acc, nil
-			}
-			r, err := env.eval(k)
-			if err != nil {
-				return nil, err
-			}
-			acc = postings.Intersect(acc, r)
-		}
-		return acc, nil
+		return env.evalAnd(v)
 	case orNode:
-		acc := &postings.List{}
-		for _, k := range v.kids {
-			if env.ctx.Err() != nil {
-				return acc, nil
-			}
-			r, err := env.eval(k)
-			if err != nil {
-				return nil, err
-			}
-			// WithoutCounts keeps the union a pure ID merge: a kid may be
-			// a live counted term list, and match sets never read
-			// frequencies (ranking walks the term lists via IntersectEach).
-			acc.Merge(r.WithoutCounts())
-		}
-		return acc, nil
+		return env.evalOr(v)
 	case notNode:
 		r, err := env.eval(v.kid)
 		if err != nil {
@@ -456,4 +429,121 @@ func (env *evalEnv) eval(n node) (*postings.List, error) {
 	default:
 		return &postings.List{}, nil
 	}
+}
+
+// evalOr unions an OR node's kids, exactly as before the iterator
+// redesign: OR consumes whole match sets, so it materializes its kids.
+func (env *evalEnv) evalOr(v orNode) (*postings.List, error) {
+	acc := &postings.List{}
+	for _, k := range v.kids {
+		if env.ctx.Err() != nil {
+			return acc, nil
+		}
+		r, err := env.eval(k)
+		if err != nil {
+			return nil, err
+		}
+		// WithoutCounts keeps the union a pure ID merge: a kid may be
+		// a live counted term list, and match sets never read
+		// frequencies (ranking walks the term lists via iterators).
+		acc.Merge(r.WithoutCounts())
+	}
+	return acc, nil
+}
+
+// evalAnd intersects an AND node's kids with streaming iterators instead
+// of materializing every kid's posting list: term kids never decode
+// their blocks on a lazy backend — SeekGE rides the per-block skip
+// tables — and in-memory lists gallop. Complex kids (phrase, OR, NOT,
+// parenthesized groups) evaluate to lists exactly as before and join
+// the intersection through a list-backed iterator.
+func (env *evalEnv) evalAnd(v andNode) (*postings.List, error) {
+	// Resolve the kids left to right, stopping at the first provably
+	// empty one. Term kids answer from the dictionary (DocFreq) and
+	// prefix kids from the precomputed expansions, so ordering them
+	// costs no posting data; the walk-with-early-exit preserves the old
+	// evaluator's observable behavior — kids after an empty one are
+	// never evaluated.
+	type leg struct {
+		term   string // term kid; iterator created after ordering
+		isTerm bool
+		l      *postings.List // non-term kid: already-evaluated match set
+		n      int            // match-count estimate (df / list length)
+	}
+	legs := make([]leg, 0, len(v.kids))
+	for _, k := range v.kids {
+		switch kv := k.(type) {
+		case termNode:
+			n := env.ix.DocFreq(kv.term)
+			if n == 0 {
+				return &postings.List{}, nil
+			}
+			legs = append(legs, leg{term: kv.term, isTerm: true, n: n})
+		case prefixNode:
+			l := env.prefixes[kv.ord]
+			if l.Len() == 0 {
+				return &postings.List{}, nil
+			}
+			legs = append(legs, leg{l: l, n: l.Len()})
+		default:
+			r, err := env.eval(k)
+			if err != nil {
+				return nil, err
+			}
+			if r.Len() == 0 {
+				return &postings.List{}, nil
+			}
+			legs = append(legs, leg{l: r, n: r.Len()})
+		}
+	}
+	// Ascending document frequency: the most selective leg drives, so
+	// every other leg is asked for at most that many seeks — on skewed
+	// rare∧common intersections the dense list is sampled, not walked.
+	sort.SliceStable(legs, func(i, j int) bool { return legs[i].n < legs[j].n })
+	its := make([]index.PostingIterator, len(legs))
+	for i, g := range legs {
+		if !g.isTerm {
+			its[i] = postings.NewIterator(g.l)
+			continue
+		}
+		it := env.ix.Iterator(g.term)
+		if it == nil {
+			// DocFreq saw the term but the iterator did not: the block
+			// is corrupt, and corrupt means absent, as for Lookup.
+			return &postings.List{}, nil
+		}
+		its[i] = it
+	}
+	out := &postings.List{}
+	if !its[0].Next() {
+		return out, nil
+	}
+	id := its[0].ID()
+	steps := 0
+outer:
+	for {
+		if steps++; steps&1023 == 0 && env.ctx.Err() != nil {
+			return out, nil
+		}
+		for _, it := range its[1:] {
+			if !it.SeekGE(id) {
+				break outer
+			}
+			if got := it.ID(); got != id {
+				// Leapfrog: the mismatching leg overshot, so hand its
+				// position back to the driver as the next candidate.
+				if !its[0].SeekGE(got) {
+					break outer
+				}
+				id = its[0].ID()
+				continue outer
+			}
+		}
+		out.Add(id)
+		if !its[0].Next() {
+			break
+		}
+		id = its[0].ID()
+	}
+	return out, nil
 }

@@ -9,12 +9,24 @@ import (
 	"desksearch/internal/postings"
 )
 
-// MaxPrefixTerms caps how many dictionary terms one prefix operator may
-// expand to within a single partition. A short prefix over a large corpus
-// would otherwise union a huge slice of the dictionary per query; past the
-// cap the query fails with ErrPrefixTooBroad instead of degrading every
-// other caller, and the fix — lengthen the prefix — is in the error.
+// MaxPrefixTerms is the default cap on how many dictionary terms one
+// prefix operator may expand to within a single partition — applied when
+// a request leaves Request.MaxPrefixTerms at 0. A short prefix over a
+// large corpus would otherwise union a huge slice of the dictionary per
+// query; past the cap the query fails with ErrPrefixTooBroad instead of
+// degrading every other caller, and the fix — lengthen the prefix or
+// raise the cap — is in the error.
 const MaxPrefixTerms = 1024
+
+// effectivePrefixCap resolves a request's prefix-expansion cap: 0 means
+// the MaxPrefixTerms default (negative values are rejected upstream by
+// request validation).
+func effectivePrefixCap(cap int) int {
+	if cap <= 0 {
+		return MaxPrefixTerms
+	}
+	return cap
+}
 
 // ErrPrefixTooBroad reports a prefix operator that expands past
 // MaxPrefixTerms dictionary terms in some partition. Errors wrapping it
@@ -36,10 +48,11 @@ var ErrPrefixTooBroad = errors.New("search: prefix matches too many terms")
 // posting blocks are decoded. Sorted term order (a Partition guarantee)
 // makes the union's construction order, and hence positional merges,
 // identical across backends.
-func expandPrefixes(ix index.Partition, q *Query) ([]*postings.List, error) {
+func expandPrefixes(ix index.Partition, q *Query, maxTerms int) ([]*postings.List, error) {
 	if len(q.prefixes) == 0 {
 		return nil, nil
 	}
+	limit := effectivePrefixCap(maxTerms)
 	out := make([]*postings.List, len(q.prefixes))
 	for i, p := range q.prefixes {
 		u := &postings.List{}
@@ -50,9 +63,9 @@ func expandPrefixes(ix index.Partition, q *Query) ([]*postings.List, error) {
 				return false
 			}
 			matches++
-			if matches > MaxPrefixTerms {
-				broad = fmt.Errorf("%w: %q matches over %d terms in one partition (lengthen the prefix)",
-					ErrPrefixTooBroad, p+"*", MaxPrefixTerms)
+			if matches > limit {
+				broad = fmt.Errorf("%w: %q matches over %d terms in one partition (lengthen the prefix or raise the cap)",
+					ErrPrefixTooBroad, p+"*", limit)
 				return false
 			}
 			u.Merge(ix.Lookup(term))

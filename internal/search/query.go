@@ -131,7 +131,8 @@ func (q *Query) Terms() []string { return q.positive }
 // positions (ErrNoPositions otherwise). A prefix operator's text must
 // normalize to a single term ("repor*"); evaluation expands it against
 // each partition's term dictionary, failing with ErrPrefixTooBroad past
-// MaxPrefixTerms matching terms.
+// the request's expansion cap (Request.MaxPrefixTerms, or the
+// MaxPrefixTerms default when unset).
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {

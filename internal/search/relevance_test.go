@@ -259,6 +259,22 @@ func TestPrefixTooBroad(t *testing.T) {
 	if _, err := e.Query(context.Background(), Request{Query: MustParse("t00*")}); err != nil {
 		t.Errorf("t00*: %v", err)
 	}
+	// The per-request knob overrides the default in both directions: a
+	// raised cap admits the broad prefix, a lowered one rejects a prefix
+	// the default would allow. DocFreqs applies the same cap.
+	if _, err := e.Query(context.Background(), Request{Query: MustParse("t*"), MaxPrefixTerms: MaxPrefixTerms + 1}); err != nil {
+		t.Errorf("raised cap: %v", err)
+	}
+	_, err = e.Query(context.Background(), Request{Query: MustParse("t00*"), MaxPrefixTerms: 3})
+	if !errors.Is(err, ErrPrefixTooBroad) {
+		t.Errorf("lowered cap: err = %v, want ErrPrefixTooBroad", err)
+	}
+	if _, err := e.DocFreqs(context.Background(), MustParse("t00*"), 3); !errors.Is(err, ErrPrefixTooBroad) {
+		t.Errorf("DocFreqs lowered cap: err = %v, want ErrPrefixTooBroad", err)
+	}
+	if _, err := e.DocFreqs(context.Background(), MustParse("t*"), MaxPrefixTerms+1); err != nil {
+		t.Errorf("DocFreqs raised cap: %v", err)
+	}
 }
 
 func TestSuggest(t *testing.T) {

@@ -77,6 +77,11 @@ type Request struct {
 	// positive Limit — snippets are generated for the retained page only,
 	// never for an unbounded result.
 	Snippets bool
+	// MaxPrefixTerms caps how many dictionary terms one prefix operator
+	// may expand to within a single partition; 0 applies the
+	// MaxPrefixTerms package default. Negative values are rejected by the
+	// public API before a Request is ever built.
+	MaxPrefixTerms int
 	// GlobalDF, when non-nil, supplies corpus-wide document-frequency
 	// statistics for BM25 ranking in place of the engine's own aggregation
 	// — the distributed-serving hook. A broker that fans a query out over
@@ -135,9 +140,10 @@ func (d *DocFreqs) Add(other *DocFreqs) bool {
 // scoring prefix operator, the summed size of its expansion unions. It is
 // phase one of the distributed BM25 protocol — cheap enough to run as a
 // separate round-trip before the query itself. Expansion obeys the same
-// MaxPrefixTerms cap as evaluation, so an over-broad prefix fails here,
-// before any worker evaluates anything.
-func (e *Engine) DocFreqs(ctx context.Context, q *Query) (*DocFreqs, error) {
+// prefix-expansion cap as evaluation — maxPrefixTerms, with 0 meaning the
+// MaxPrefixTerms default — so an over-broad prefix fails here, before any
+// worker evaluates anything.
+func (e *Engine) DocFreqs(ctx context.Context, q *Query, maxPrefixTerms int) (*DocFreqs, error) {
 	if q == nil || q.root == nil {
 		return nil, fmt.Errorf("search: request has no query")
 	}
@@ -166,13 +172,13 @@ func (e *Engine) DocFreqs(ctx context.Context, q *Query) (*DocFreqs, error) {
 				wg.Add(1)
 				go func(i int, ix index.Partition) {
 					defer wg.Done()
-					expansions[i], expErrs[i] = expandPrefixes(ix, q)
+					expansions[i], expErrs[i] = expandPrefixes(ix, q, maxPrefixTerms)
 				}(i, ix)
 			}
 			wg.Wait()
 		} else {
 			for i, ix := range e.indices {
-				expansions[i], expErrs[i] = expandPrefixes(ix, q)
+				expansions[i], expErrs[i] = expandPrefixes(ix, q, maxPrefixTerms)
 			}
 		}
 		for _, err := range expErrs {
@@ -275,13 +281,13 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 				wg.Add(1)
 				go func(i int, ix index.Partition) {
 					defer wg.Done()
-					expansions[i], expErrs[i] = expandPrefixes(ix, req.Query)
+					expansions[i], expErrs[i] = expandPrefixes(ix, req.Query, req.MaxPrefixTerms)
 				}(i, ix)
 			}
 			wg.Wait()
 		} else {
 			for i, ix := range e.indices {
-				expansions[i], expErrs[i] = expandPrefixes(ix, req.Query)
+				expansions[i], expErrs[i] = expandPrefixes(ix, req.Query, req.MaxPrefixTerms)
 			}
 		}
 		// First failing partition in partition order, so the reported
@@ -400,60 +406,59 @@ func (e *Engine) queryOne(ctx context.Context, ix index.Partition, universe *pos
 		return partResult{dur: time.Since(start)}
 	}
 
-	// Score pass: one bounded intersection per positive term — then per
-	// scored prefix pseudo-term — accumulates the score and the
-	// matched-term mask. The accumulation order (positive terms in query
-	// order, then prefixes in scorePrefixes order) is part of the API's
-	// determinism contract: BM25 adds float terms in this exact sequence,
-	// so any partitioning of the corpus produces bit-identical scores.
-	type fileScore struct {
-		score float64
-		mask  uint64
+	// Scoring walks the match list once, document-at-a-time, seeking one
+	// streaming iterator per positive term — then per scored prefix
+	// pseudo-term — forward through the match set. The accumulation order
+	// (positive terms in query order, then prefixes in scorePrefixes
+	// order) is part of the API's determinism contract: BM25 adds float
+	// terms in this exact sequence, so any partitioning of the corpus —
+	// and either storage backend — produces bit-identical scores.
+	type scorer struct {
+		it  index.PostingIterator // nil when the term is absent here
+		idf float64
+		bit int
 	}
-	scores := make(map[postings.FileID]fileScore, matched.Len())
-	accumulate := func(bit int, l *postings.List, idf float64) {
-		if l == nil {
-			return
-		}
-		postings.IntersectEach(matched, l, func(id postings.FileID, count uint32) {
-			fs := scores[id]
-			switch req.Ranking {
-			case RankBM25:
-				fs.score += bm.score(idf, count, e.files.Tokens(id))
-			case RankTF:
-				fs.score += float64(count)
-			default:
-				fs.score++
-			}
-			if bit < 64 {
-				fs.mask |= 1 << uint(bit)
-			}
-			scores[id] = fs
-		})
-	}
+	scorers := make([]scorer, 0, len(req.Query.positive)+len(req.Query.scorePrefixes))
 	for ti, term := range req.Query.positive {
-		if ctx.Err() != nil {
-			return partResult{dur: time.Since(start)}
-		}
-		var idf float64
+		sc := scorer{it: ix.Iterator(term), bit: ti}
 		if bm != nil {
-			idf = bm.idfTerm[ti]
+			sc.idf = bm.idfTerm[ti]
 		}
-		accumulate(ti, ix.Lookup(term), idf)
+		scorers = append(scorers, sc)
 	}
 	for pi, ord := range req.Query.scorePrefixes {
-		if ctx.Err() != nil {
-			return partResult{dur: time.Since(start)}
-		}
-		var idf float64
+		sc := scorer{it: postings.NewIterator(exp[ord]), bit: len(req.Query.positive) + pi}
 		if bm != nil {
-			idf = bm.idfPrefix[pi]
+			sc.idf = bm.idfPrefix[pi]
 		}
-		accumulate(len(req.Query.positive)+pi, exp[ord], idf)
+		scorers = append(scorers, sc)
 	}
 
-	// Selection pass: walk the match list, filter by path prefix, and
-	// feed a bounded heap (or collect everything when unbounded).
+	// WAND-style max-score skipping (BM25 top-k only): rem[i] bounds from
+	// above what scorers i.. can still add to a document's score. Once
+	// the heap is full, a document whose partial score plus rem cannot
+	// reach the heap's worst retained score is dropped without seeking
+	// its remaining scorers — matched IDs ascend, so an exact tie would
+	// lose the File tie-break anyway and skipping it is sound. wandSlack
+	// absorbs the associativity gap between the precomputed bound sum and
+	// the sequential accumulation it bounds (≤ a few ulps per scorer);
+	// scores and bounds are nonnegative, so inflating the bound only
+	// makes skipping more conservative, never wrong.
+	const wandSlack = 1 + 1e-12
+	wand := bm != nil && k > 0
+	var rem []float64
+	if wand {
+		rem = make([]float64, len(scorers)+1)
+		for i := len(scorers) - 1; i >= 0; i-- {
+			rem[i] = rem[i+1]
+			if scorers[i].it != nil {
+				rem[i] += bm.maxScore(scorers[i].idf, scorers[i].it.MaxCount())
+			}
+		}
+	}
+
+	// Selection pass: walk the match list, filter by path prefix, score,
+	// and feed a bounded heap (or collect everything when unbounded).
 	res := partResult{}
 	heap := newTopK(k)
 	var all []scored
@@ -466,8 +471,48 @@ func (e *Engine) queryOne(ctx context.Context, ix index.Partition, universe *pos
 			continue
 		}
 		res.matched++
-		fs := scores[id]
-		s := scored{hit: Hit{File: id, Path: path, Score: fs.score}, mask: fs.mask}
+		var dl uint32
+		if bm != nil {
+			dl = e.files.Tokens(id)
+		}
+		var score float64
+		var mask uint64
+		skipped := false
+		for si := range scorers {
+			if wand && heap.full() {
+				if (score+rem[si])*wandSlack <= heap.worst().Score {
+					skipped = true
+					break
+				}
+			}
+			sc := &scorers[si]
+			if sc.it == nil {
+				continue
+			}
+			if !sc.it.SeekGE(id) {
+				sc.it = nil // exhausted; no later match-set ID can hit it
+				continue
+			}
+			if sc.it.ID() != id {
+				continue
+			}
+			count := sc.it.Count()
+			switch req.Ranking {
+			case RankBM25:
+				score += bm.score(sc.idf, count, dl)
+			case RankTF:
+				score += float64(count)
+			default:
+				score++
+			}
+			if sc.bit < 64 {
+				mask |= 1 << uint(sc.bit)
+			}
+		}
+		if skipped {
+			continue
+		}
+		s := scored{hit: Hit{File: id, Path: path, Score: score}, mask: mask}
 		if k > 0 {
 			heap.consider(s)
 		} else {

@@ -26,6 +26,15 @@ func newTopK(k int) *topK {
 // worst retained hit at the root.
 func worse(a, b scored) bool { return hitLess(b.hit, a.hit) }
 
+// full reports whether the heap holds its k hits — only then does the
+// worst retained hit define a meaningful skip threshold, and it can only
+// rise from there (consider never replaces the root with a worse hit).
+func (t *topK) full() bool { return t.k > 0 && len(t.h) == t.k }
+
+// worst returns the worst retained hit (the heap root); valid only when
+// full.
+func (t *topK) worst() Hit { return t.h[0].hit }
+
 // consider offers a hit: it is retained iff fewer than k hits are held or
 // it beats the worst retained hit, which it then evicts.
 func (t *topK) consider(s scored) {

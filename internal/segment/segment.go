@@ -330,6 +330,33 @@ func (r *Reader) Lookup(term string) *postings.List {
 	return l
 }
 
+// Iterator returns a streaming cursor over term's postings, or nil when
+// the term is absent or its block corrupt (recorded for Err, mirroring
+// Lookup's corrupt-means-absent contract). When the block is already
+// decoded in the shared cache the cursor rides the decoded list — a
+// strict improvement, no re-streaming; otherwise it streams the raw
+// block bytes and no decode is counted: evaluation that visits a
+// fraction of the postings reads a fraction of the block and
+// BlockDecodes stays untouched.
+func (r *Reader) Iterator(term string) index.PostingIterator {
+	ord := r.find(term)
+	if ord < 0 {
+		return nil
+	}
+	if r.cache != nil {
+		if l, ok := r.cache.get(r, ord); ok {
+			return postings.NewIterator(l)
+		}
+	}
+	it, err := r.iterAt(ord)
+	if err != nil {
+		r.noteCorruption(err)
+		return nil
+	}
+	it.notify = r.noteCorruption
+	return it
+}
+
 // DocFreq answers from the dictionary alone — no block is touched.
 func (r *Reader) DocFreq(term string) int {
 	if ord := r.find(term); ord >= 0 {

@@ -195,10 +195,62 @@ func TestPrefixTooBroadOverHTTP(t *testing.T) {
 	f := newFixture(t, Config{})
 	var er struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	// The demo corpus is tiny, so any prefix is in-cap; parse-level errors
 	// still surface as 400 (a bare '*' has no searchable term).
 	if code := f.get(t, "/search?q=%2A", &er); code != http.StatusBadRequest {
 		t.Errorf("bare '*': status %d, want 400", code)
+	}
+}
+
+// TestMaxPrefixTermsOverHTTP drives the per-request expansion cap through
+// the HTTP dialect: a cap below a prefix's expansion fails with the
+// stable prefix_too_broad code, the same query succeeds with a
+// sufficient (or default) cap, and an unparseable cap is rejected.
+func TestMaxPrefixTermsOverHTTP(t *testing.T) {
+	fs := vfs.NewMemFS()
+	// One document holds every zz-term, so whichever partition owns it
+	// expands zz* to four dictionary terms.
+	if err := fs.WriteFile("z.txt", []byte("zz1 zz2 zz3 zz4 other")); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := desksearch.IndexFS(fs, ".", desksearch.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Catalog: cat}).Handler())
+	t.Cleanup(ts.Close)
+
+	var er struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if code := getJSON(t, ts.URL+"/search?q=zz%2A&max_prefix_terms=2", &er); code != http.StatusBadRequest {
+		t.Fatalf("cap=2: status %d, want 400", code)
+	}
+	if er.Code != string(desksearch.CodePrefixTooBroad) {
+		t.Errorf("cap=2: code = %q, want %q", er.Code, desksearch.CodePrefixTooBroad)
+	}
+	for _, q := range []string{
+		"/search?q=zz%2A&max_prefix_terms=4",
+		"/search?q=zz%2A", // default cap
+	} {
+		var sr SearchResponse
+		if code := getJSON(t, ts.URL+q, &sr); code != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200", q, code)
+		}
+		if sr.Total != 1 {
+			t.Errorf("%s: total = %d, want 1", q, sr.Total)
+		}
+	}
+	var bad struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/search?q=zz%2A&max_prefix_terms=nope", &bad); code != http.StatusBadRequest {
+		t.Errorf("bad cap: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/search?q=zz%2A&max_prefix_terms=-1", &bad); code != http.StatusBadRequest {
+		t.Errorf("negative cap: status %d, want 400", code)
 	}
 }

@@ -373,6 +373,10 @@ type ReloadResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the stable machine-readable code of a typed query error
+	// (desksearch.QueryErrorCode), empty for every other failure. Clients
+	// branch on it instead of parsing Error's prose.
+	Code string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -385,6 +389,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// queryErrorStatus is the one place evaluation errors become wire
+// statuses, shared by the daemon's /search and /suggest handlers and the
+// worker endpoints (the broker passes worker statuses through unchanged).
+// Timeouts and cancellations are retryable against a replica (504/503);
+// everything else is deterministic — a replica would fail the same way —
+// and maps to 400, with typed query errors contributing their stable
+// desksearch code for the response body.
+func queryErrorStatus(err error) (status int, code string) {
+	var qe *desksearch.QueryError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, ""
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, ""
+	case errors.As(err, &qe):
+		return http.StatusBadRequest, string(qe.Code)
+	default:
+		return http.StatusBadRequest, ""
+	}
+}
+
+// writeQueryError writes an evaluation failure through the shared status
+// mapping, rewriting the retryable statuses to their conventional prose
+// and attaching the stable code when the error carries one.
+func writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
+	status, code := queryErrorStatus(err)
+	msg := err.Error()
+	switch status {
+	case http.StatusGatewayTimeout:
+		msg = fmt.Sprintf("query timed out after %s", timeout)
+	case http.StatusServiceUnavailable:
+		msg = "query canceled"
+	}
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -416,14 +456,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp, cached, err := s.cachedQuery(ctx, gen, key, req)
 	if err != nil {
 		s.queryErrors.Add(1)
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "query timed out after %s", timeout)
-		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "query canceled")
-		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
-		}
+		writeQueryError(w, err, timeout)
 		return
 	}
 	if !cached {
@@ -505,11 +538,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	sugs, err := s.cat.Suggest(ctx, prefix, n)
 	if err != nil {
 		s.queryErrors.Add(1)
-		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
-		}
-		writeError(w, status, "%v", err)
+		writeQueryError(w, err, s.timeout)
 		return
 	}
 	out := SuggestResponse{
@@ -556,7 +585,8 @@ func (s *Server) parseSearch(r *http.Request) (desksearch.Query, int, error) {
 }
 
 // ParseSearchQuery maps /search-style URL parameters (q, limit, offset,
-// rank, snippets, prefix) onto a desksearch.Query. It is exported so the
+// rank, snippets, prefix, max_prefix_terms) onto a desksearch.Query. It
+// is exported so the
 // distributed broker's front door accepts exactly the same dialect as a
 // single-node daemon — every error it returns is the client's mistake and
 // maps to 400. maxLimit caps the limit parameter and replaces an
@@ -601,6 +631,13 @@ func ParseSearchQuery(params url.Values, maxLimit int) (desksearch.Query, error)
 			return req, fmt.Errorf("invalid snippets %q (want a boolean)", v)
 		}
 		req.Snippets = on
+	}
+	if v := params.Get("max_prefix_terms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return req, fmt.Errorf("invalid max_prefix_terms %q", v)
+		}
+		req.MaxPrefixTerms = n
 	}
 	req.PathPrefix = params.Get("prefix")
 	return req, nil

@@ -24,9 +24,9 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"math"
 	"net/http"
+	"strconv"
 
 	"desksearch"
 )
@@ -86,6 +86,11 @@ type InternalSearchRequest struct {
 	PathPrefix string `json:"path_prefix,omitempty"`
 	// Snippets asks for per-hit context windows.
 	Snippets bool `json:"snippets,omitempty"`
+	// MaxPrefixTerms caps prefix-operator expansion per partition
+	// (desksearch.Query.MaxPrefixTerms); zero applies the default. The
+	// broker forwards the client's cap so every worker rejects an
+	// over-broad prefix at the same threshold a single node would.
+	MaxPrefixTerms int `json:"max_prefix_terms,omitempty"`
 	// DF, when present with bm25, carries the broker's pre-aggregated
 	// corpus-global document frequencies (desksearch.Query.GlobalDF).
 	DF *DFPayload `json:"df,omitempty"`
@@ -152,7 +157,16 @@ func (s *Server) handleWorkerDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	req, _, err := desksearch.Query{Text: q}.Normalize()
+	query := desksearch.Query{Text: q}
+	if v := r.URL.Query().Get("max_prefix_terms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid max_prefix_terms %q", v)
+			return
+		}
+		query.MaxPrefixTerms = n
+	}
+	req, _, err := query.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -188,10 +202,11 @@ func (s *Server) handleWorkerSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := desksearch.Query{
-		Text:       in.Query,
-		Limit:      in.Limit,
-		PathPrefix: in.PathPrefix,
-		Snippets:   in.Snippets,
+		Text:           in.Query,
+		Limit:          in.Limit,
+		PathPrefix:     in.PathPrefix,
+		Snippets:       in.Snippets,
+		MaxPrefixTerms: in.MaxPrefixTerms,
 	}
 	if in.Rank != "" {
 		rank, err := desksearch.ParseRanking(in.Rank)
@@ -273,16 +288,10 @@ func (s *Server) handleWorkerSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeWorkerError maps an evaluation error onto the status a broker can
-// act on: timeouts and cancellations are retryable against a replica
+// act on, through the same queryErrorStatus mapping the public handlers
+// use: timeouts and cancellations are retryable against a replica
 // (504/503); everything else is deterministic — a replica would fail the
-// same way — and maps to 400.
+// same way — and maps to 400 with the typed error's code when present.
 func (s *Server) writeWorkerError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.timeout)
-	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "query canceled")
-	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
-	}
+	writeQueryError(w, err, s.timeout)
 }

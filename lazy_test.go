@@ -209,6 +209,74 @@ func TestOpenDirIsLazy(t *testing.T) {
 	}
 }
 
+// TestLazyEvaluationDecodesFewerBlocks pins the streaming evaluator's
+// cost claim: a selective AND and a BM25 top-k on a lazy catalog must
+// decode strictly fewer posting blocks than the full traversal the
+// pre-iterator evaluator paid (one block per query term per shard that
+// holds it) — and, as implemented, exactly zero: boolean intersection
+// rides SeekGE over the skip tables and scoring streams the frequency
+// sections, so no posting block is ever materialized.
+func TestLazyEvaluationDecodesFewerBlocks(t *testing.T) {
+	fs := corpusFS(t, 200)
+	built, err := IndexFS(fs, ".", Options{Shards: 3, Positions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := built.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := OpenDir(dir, Options{Positions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	readers := cat.lazy.Readers()
+	decodes := func() (n uint64) {
+		for _, r := range readers {
+			n += r.BlockDecodes()
+		}
+		return
+	}
+
+	// The eager full-list path's cost, computed from the dictionaries:
+	// Lookup-driven evaluation decodes each query term's block on every
+	// shard that holds the term.
+	terms := []string{"milk", "report"}
+	var full uint64
+	for _, term := range terms {
+		for _, r := range readers {
+			if r.DocFreq(term) > 0 {
+				full++
+			}
+		}
+	}
+	if full == 0 {
+		t.Fatal("corpus holds none of the query terms; the baseline is vacuous")
+	}
+
+	run := func(label string, q Query) uint64 {
+		t.Helper()
+		before := decodes()
+		if _, err := cat.Query(context.Background(), q); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return decodes() - before
+	}
+	andCost := run("selective AND", Query{Text: "milk report", Limit: 10})
+	wandCost := run("WAND top-k", Query{Text: "milk report", Ranking: RankBM25, Limit: 10})
+
+	if andCost >= full {
+		t.Errorf("selective AND decoded %d blocks, want < %d (full traversal)", andCost, full)
+	}
+	if wandCost >= full {
+		t.Errorf("BM25 top-k decoded %d blocks, want < %d (full traversal)", wandCost, full)
+	}
+	if andCost != 0 || wandCost != 0 {
+		t.Errorf("streaming evaluation decoded %d (AND) / %d (BM25) blocks, want 0: boolean and scoring paths must not materialize posting lists", andCost, wandCost)
+	}
+}
+
 func TestLazyCatalogIsReadOnly(t *testing.T) {
 	fs := corpusFS(t, 20)
 	built, err := IndexFS(fs, ".", Options{Shards: 2})

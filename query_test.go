@@ -340,12 +340,11 @@ func TestStatsExactTerms(t *testing.T) {
 	}
 }
 
-// TestSearchQueryDefaultsAgree is the ISSUE's regression pin: the
-// deprecated Search(q) must be exactly Query(ctx, Query{Text: q}) — same
-// hits, same scores, same order — across partition shapes, and the two
-// must agree on degenerate input: an empty query errors identically
-// through both entry points instead of one defaulting and one failing.
-func TestSearchQueryDefaultsAgree(t *testing.T) {
+// TestQueryDefaults pins the v1-equivalent defaults of the Query API: the
+// zero controls return every hit coordination-ranked across partition
+// shapes, and degenerate input (the zero Query) is rejected rather than
+// silently defaulting to something.
+func TestQueryDefaults(t *testing.T) {
 	fs := syntheticFS(t, 120)
 	for _, shards := range []int{0, 4} {
 		cat := shardedCatalog(t, fs, shards)
@@ -357,37 +356,26 @@ func TestSearchQueryDefaultsAgree(t *testing.T) {
 			"(alpha OR beta) -epsilon",
 			"nosuchterm",
 		} {
-			v1, err := cat.Search(q)
-			if err != nil {
-				t.Fatalf("Search(%q): %v", q, err)
-			}
-			v2, err := cat.Query(context.Background(), Query{Text: q})
+			res, err := cat.Query(context.Background(), Query{Text: q})
 			if err != nil {
 				t.Fatalf("Query(%q): %v", q, err)
 			}
-			if len(v1) != len(v2.Hits) || len(v1) != v2.Total {
-				t.Fatalf("shards=%d %q: Search %d hits, Query %d hits / total %d",
-					shards, q, len(v1), len(v2.Hits), v2.Total)
+			if len(res.Hits) != res.Total {
+				t.Fatalf("shards=%d %q: zero controls returned %d hits but total %d",
+					shards, q, len(res.Hits), res.Total)
 			}
-			for i := range v1 {
-				if v1[i].Path != v2.Hits[i].Path || float64(v1[i].Score) != v2.Hits[i].Score {
-					t.Fatalf("shards=%d %q hit %d: Search %+v vs Query %+v",
-						shards, q, i, v1[i], v2.Hits[i])
+			for i := 1; i < len(res.Hits); i++ {
+				prev, cur := res.Hits[i-1], res.Hits[i]
+				if cur.Score > prev.Score || (cur.Score == prev.Score && cur.File < prev.File) {
+					t.Fatalf("shards=%d %q: hits %d,%d out of order: %+v then %+v",
+						shards, q, i-1, i, prev, cur)
 				}
 			}
 		}
 
-		// The degenerate inputs: empty text and the zero Query must fail
-		// the same way through both APIs, not silently diverge.
-		_, errSearch := cat.Search("")
-		_, errQuery := cat.Query(context.Background(), Query{})
-		if errSearch == nil || errQuery == nil {
-			t.Fatalf("shards=%d: empty query accepted (Search err %v, Query err %v)",
-				shards, errSearch, errQuery)
-		}
-		if errSearch.Error() != errQuery.Error() {
-			t.Errorf("shards=%d: empty-query errors diverge: Search %q vs Query %q",
-				shards, errSearch, errQuery)
+		// The zero Query must fail, not default to an empty expression.
+		if _, err := cat.Query(context.Background(), Query{}); err == nil {
+			t.Fatalf("shards=%d: empty query accepted", shards)
 		}
 	}
 }
@@ -420,6 +408,7 @@ func TestQueryNormalize(t *testing.T) {
 		"bm25 ranking":    {Text: "cat dog", Ranking: RankBM25},
 		"snippets":        {Text: "cat dog", Snippets: true},
 		"prefix":          {Text: "cat dog", PathPrefix: "docs/"},
+		"prefix cap":      {Text: "cat dog", MaxPrefixTerms: 64},
 	} {
 		_, k, err := other.Normalize()
 		if err != nil {
@@ -447,6 +436,7 @@ func TestQueryNormalize(t *testing.T) {
 		"negative limit": {Text: "cat", Limit: -1},
 		"bad offset":     {Text: "cat", Offset: -2},
 		"bad ranking":    {Text: "cat", Ranking: Ranking(9)},
+		"bad prefix cap": {Text: "cat", MaxPrefixTerms: -3},
 	} {
 		if _, _, err := bad.Normalize(); err == nil {
 			t.Errorf("%s request normalized without error", name)
@@ -479,6 +469,10 @@ func TestNormalizeKeyInjective(t *testing.T) {
 		{Text: "cat do*"},                                   // prefix operator ≠ the term
 		{Text: "cat dog", PathPrefix: "p\x00snippets=true"}, // crafted prefix can't fake the flag
 		{Text: "cat dog", Snippets: true, PathPrefix: "p"},
+		{Text: "cat dog", MaxPrefixTerms: 64},              // explicit cap keys separately
+		{Text: "cat dog", MaxPrefixTerms: 1024},            // ...even when equal to the default
+		{Text: "cat dog", PathPrefix: "p\x00maxprefix=64"}, // crafted prefix can't fake the cap
+		{Text: "cat dog", MaxPrefixTerms: 64, PathPrefix: "p"},
 	}
 	keys := map[string]int{}
 	for i, q := range requests {
