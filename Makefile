@@ -15,13 +15,14 @@ GOVULNCHECK_VERSION ?= latest
 BENCH_GATE = ^(BenchmarkTopKQuery|BenchmarkShardedBuild|BenchmarkBM25Query|BenchmarkSuggest|BenchmarkSnippets|BenchmarkColdOpen|BenchmarkSelectiveAND|BenchmarkWANDTopK)$$
 BENCH_GATE_FLAGS = -run '^$$' -bench '$(BENCH_GATE)' -benchtime=10x -count=3
 
-.PHONY: build test vet fmt lint vuln bench bench-check bench-baseline docs-check ci
+.PHONY: build test vet fmt lint vuln bench bench-check bench-baseline docs-check load-smoke ci
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on matches CI: randomized test order within each package.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -87,4 +88,10 @@ bench-baseline:
 docs-check:
 	$(GO) run ./cmd/docscheck
 
-ci: build vet fmt lint vuln docs-check test bench bench-check
+# load-smoke replays cmd/loadgen's CI preset — a tiny in-process corpus,
+# 300 mixed queries, exit 1 on any error — proving the load harness and
+# the query surface it drives end to end.
+load-smoke:
+	$(GO) run ./cmd/loadgen -smoke -out /dev/null
+
+ci: build vet fmt lint vuln docs-check test bench bench-check load-smoke

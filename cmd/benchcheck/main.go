@@ -8,6 +8,13 @@
 //
 //	go test -run '^$' -bench '...' -benchtime 5x . | benchcheck -baseline bench_baseline.json
 //	go test -run '^$' -bench '...' -benchtime 5x . | benchcheck -baseline bench_baseline.json -update
+//	benchcheck -load loadgen-summary.json -baseline load_baseline.json
+//
+// -load reads a cmd/loadgen JSON summary instead of bench output on
+// stdin: each query class gates as a pseudo-benchmark Loadgen/<class>
+// whose ns/op is the class's p95 latency (plus an "errors" metric and a
+// Loadgen/overall entry carrying achieved "qps"), so load-test latency
+// baselines ride the same tolerance/ratio machinery as microbenchmarks.
 //
 // The baseline file:
 //
@@ -54,6 +61,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"desksearch/internal/loadgen"
 )
 
 // Baseline is the checked-in expectation file.
@@ -104,10 +113,17 @@ func main() {
 		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
 		update       = flag.Bool("update", false, "rewrite the baseline from measured values instead of comparing")
 		tolerance    = flag.Float64("tolerance", 0, "override the baseline file's tolerance (0 = use the file's)")
+		loadPath     = flag.String("load", "", "read a cmd/loadgen JSON summary from this file instead of bench output on stdin")
 	)
 	flag.Parse()
 
-	measured, err := parse(os.Stdin)
+	var measured map[string]map[string]float64
+	var err error
+	if *loadPath != "" {
+		measured, err = parseLoadSummary(*loadPath)
+	} else {
+		measured, err = parse(os.Stdin)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -244,6 +260,38 @@ func lookup(measured map[string]map[string]float64, name, metric string) (float6
 		}
 	}
 	return 0, false
+}
+
+// parseLoadSummary converts a cmd/loadgen JSON summary into the same
+// measured map shape parse produces from bench output, so the existing
+// baseline comparison and ratio machinery gate load-test latency
+// unchanged. Each class becomes Loadgen/<class> with its p95 as ns/op
+// and its error count as an "errors" metric; Loadgen/overall carries
+// the run's achieved "qps" and total "errors" for ratio gates.
+func parseLoadSummary(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum loadgen.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(sum.Classes) == 0 {
+		return nil, fmt.Errorf("%s: no classes in load summary", path)
+	}
+	out := make(map[string]map[string]float64, len(sum.Classes)+1)
+	for class, cs := range sum.Classes {
+		out["Loadgen/"+class] = map[string]float64{
+			"ns/op":  cs.P95MS * 1e6,
+			"errors": float64(cs.Errors),
+		}
+	}
+	out["Loadgen/overall"] = map[string]float64{
+		"qps":    sum.AchievedQPS,
+		"errors": float64(sum.Errors),
+	}
+	return out, nil
 }
 
 func readBaseline(path string) (*Baseline, error) {

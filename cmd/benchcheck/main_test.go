@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"desksearch/internal/loadgen"
+)
+
+func TestParseLoadSummary(t *testing.T) {
+	sum := loadgen.Summary{
+		Queries:     500,
+		Errors:      2,
+		AchievedQPS: 1234.5,
+		Classes: map[string]loadgen.ClassSummary{
+			"and":  {Queries: 300, Errors: 0, P50MS: 0.5, P95MS: 2.5, P99MS: 4, MaxMS: 9},
+			"bm25": {Queries: 200, Errors: 2, P50MS: 1, P95MS: 8, P99MS: 12, MaxMS: 30},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "summary.json")
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	measured, err := parseLoadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p95 milliseconds become ns/op, so a latency baseline rides the
+	// existing tolerance machinery.
+	if got, ok := lookup(measured, "Loadgen/and", "ns/op"); !ok || got != 2.5e6 {
+		t.Fatalf("Loadgen/and ns/op = %v (%v), want 2.5e6", got, ok)
+	}
+	if got, ok := lookup(measured, "Loadgen/bm25", "errors"); !ok || got != 2 {
+		t.Fatalf("Loadgen/bm25 errors = %v (%v), want 2", got, ok)
+	}
+	if got, ok := lookup(measured, "Loadgen/overall", "qps"); !ok || got != 1234.5 {
+		t.Fatalf("Loadgen/overall qps = %v (%v), want 1234.5", got, ok)
+	}
+
+	// An empty summary is a refused gate, not a silently passing one.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"queries":0,"classes":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseLoadSummary(empty); err == nil {
+		t.Fatal("empty load summary accepted")
+	}
+}

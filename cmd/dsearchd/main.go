@@ -45,7 +45,13 @@
 //	GET  /suggest?q=PREFIX&n=N
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics           (Prometheus text format)
 //	POST /reload            (add ?mode=full to rebuild from scratch)
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (CPU
+// and heap profiles, goroutine dumps) in both node and broker modes —
+// opt-in because the profiling surface exposes internals that do not
+// belong on a production listener by default.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight requests for up to -drain before exiting.
@@ -58,6 +64,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -90,6 +97,7 @@ func main() {
 		workers      = flag.String("workers", "", "with -broker, the worker topology: comma-separated replica groups of |-separated URLs")
 		hedge        = flag.Duration("hedge", 0, "with -broker, fixed hedged-request delay (0 = adaptive, p95 of recent group latencies)")
 		healthEvery  = flag.Duration("health-interval", 2*time.Second, "with -broker, worker health poll interval")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -102,7 +110,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dsearchd: -broker serves no index of its own; it conflicts with -index, -root, -worker, and -lazy")
 			os.Exit(2)
 		}
-		runBroker(*addr, *workers, *timeout, *hedge, *healthEvery, *drain, *maxLimit)
+		runBroker(*addr, *workers, *timeout, *hedge, *healthEvery, *drain, *maxLimit, *pprofOn)
 		return
 	}
 
@@ -196,12 +204,12 @@ func main() {
 		log.Printf("watching %s every %s", *root, *watch)
 		go srv.Watch(ctx, *watch)
 	}
-	serveHTTP(ctx, *addr, srv.Handler(), *drain)
+	serveHTTP(ctx, *addr, maybePprof(srv.Handler(), *pprofOn), *drain)
 }
 
 // runBroker brings up the scatter-gather front end and blocks until
 // shutdown.
-func runBroker(addr, workers string, timeout, hedge, healthEvery, drain time.Duration, maxLimit int) {
+func runBroker(addr, workers string, timeout, hedge, healthEvery, drain time.Duration, maxLimit int, pprofOn bool) {
 	groups := parseWorkerGroups(workers)
 	b, err := broker.New(broker.Config{
 		Groups:     groups,
@@ -225,7 +233,26 @@ func runBroker(addr, workers string, timeout, hedge, healthEvery, drain time.Dur
 	}
 	log.Printf("broker topology verified: %d group(s)", len(groups))
 	go b.Watch(ctx, healthEvery)
-	serveHTTP(ctx, addr, b.Handler(), drain)
+	serveHTTP(ctx, addr, maybePprof(b.Handler(), pprofOn), drain)
+}
+
+// maybePprof wraps h with the net/http/pprof routes under /debug/pprof/
+// when enabled. The profiling endpoints are mounted on an explicit outer
+// mux, never the DefaultServeMux, and stay opt-in: they expose stack
+// traces and heap contents, which do not belong on an always-on
+// production surface.
+func maybePprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // serveHTTP serves h on addr until ctx is cancelled (SIGINT/SIGTERM),

@@ -1,0 +1,157 @@
+// Command loadgen replays a mixed query workload — boolean AND/OR/NOT,
+// phrase, prefix, BM25 top-k, suggest — against a search target at
+// controlled QPS and emits a structured JSON latency summary. It is the
+// load-test harness that measures the serving stack at realistic scale,
+// the experiment shape the source paper's throughput evaluation calls
+// for.
+//
+// Usage:
+//
+//	loadgen [-scale F] [-seed N] [-queries N] [-qps F] [-workers N] [flags]
+//	loadgen -url http://host:7700 [flags]
+//	loadgen -smoke
+//
+// Without -url, loadgen generates a corpusgen corpus in memory
+// (internal/corpus's paper-shaped spec scaled by -scale; -scale 1 is the
+// full ≈51k-file/869MB corpus, so scaling toward 1M docs is -scale ~20),
+// indexes it positionally, and drives the catalog in-process — the
+// zero-network mode that measures the evaluation stack itself.
+//
+// With -url, the same deterministic workload is replayed over HTTP
+// against a running dsearchd or broker. Query terms are drawn from the
+// corpusgen vocabulary for -scale/-seed, so point -url at a daemon
+// serving a corpus generated with the same parameters (cmd/corpusgen)
+// for realistic term-frequency behavior.
+//
+// The summary (stdout, or -out FILE) carries per-class
+// p50/p95/p99/max latency, error counts, and achieved QPS — the
+// artifact cmd/benchcheck gates with its -load flag.
+//
+// -smoke is the CI preset: a tiny corpus, a short unpaced replay, and a
+// non-zero exit if any query fails — a pipeline step proving the whole
+// harness end to end.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"desksearch"
+	"desksearch/internal/corpus"
+	"desksearch/internal/loadgen"
+	"desksearch/internal/vfs"
+)
+
+func main() {
+	var (
+		targetURL = flag.String("url", "", "replay against this dsearchd/broker base URL instead of an in-process catalog")
+		scale     = flag.Float64("scale", 1.0/256, "corpus scale relative to the paper's ≈51k files/869MB (1 = full size)")
+		seed      = flag.Int64("seed", 1, "corpus and workload seed (deterministic op stream)")
+		queries   = flag.Int("queries", 2000, "total operations to issue")
+		qps       = flag.Float64("qps", 0, "aggregate dispatch rate (0 = as fast as the workers complete)")
+		workers   = flag.Int("workers", 8, "concurrent workers")
+		shards    = flag.Int("shards", 4, "shard count for the in-process catalog")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+		out       = flag.String("out", "-", "summary JSON destination (- = stdout)")
+		smoke     = flag.Bool("smoke", false, "CI preset: tiny corpus, 300 unpaced queries, exit 1 on any error")
+	)
+	flag.Parse()
+
+	if *smoke {
+		*scale = 1.0 / 4096
+		*queries = 300
+		*qps = 0
+		*workers = 4
+	}
+
+	spec := corpus.PaperSpec().Scale(*scale)
+	spec.Seed = *seed
+	vocab := corpus.BuildVocabulary(spec)
+
+	var target loadgen.Target
+	if *targetURL != "" {
+		target = &loadgen.HTTPTarget{BaseURL: *targetURL}
+		log.Printf("target: %s (vocabulary of %d terms for scale %g, seed %d)",
+			*targetURL, len(vocab), *scale, *seed)
+	} else {
+		start := time.Now()
+		fs := vfs.NewMemFS()
+		stats, err := corpus.Generate(spec, fs)
+		if err != nil {
+			log.Fatalf("loadgen: generating corpus: %v", err)
+		}
+		cat, err := desksearch.IndexFS(fs, ".", desksearch.Options{Positions: true, Shards: *shards})
+		if err != nil {
+			log.Fatalf("loadgen: indexing corpus: %v", err)
+		}
+		st := cat.Stats()
+		log.Printf("in-process corpus ready in %s: %d files / %s, %d terms, %d postings, %d shard(s)",
+			time.Since(start).Round(time.Millisecond), len(stats.Files),
+			humanBytes(stats.TotalBytes), st.Terms, st.Postings, cat.Indices())
+		target = &loadgen.CatalogTarget{Cat: cat}
+	}
+
+	gen, err := loadgen.NewGenerator(*seed, vocab, nil)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	log.Printf("replaying %d queries (%d workers, qps=%s)", *queries, *workers, qpsLabel(*qps))
+	sum, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:    target,
+		Generator: gen,
+		Queries:   *queries,
+		QPS:       *qps,
+		Workers:   *workers,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatalf("loadgen: writing summary: %v", err)
+	}
+
+	log.Printf("done: %d queries in %.0f ms (%.0f QPS achieved), %d error(s)",
+		sum.Queries, sum.WallMS, sum.AchievedQPS, sum.Errors)
+	if *smoke && sum.Errors > 0 {
+		log.Fatalf("loadgen: smoke replay saw %d error(s)", sum.Errors)
+	}
+}
+
+func qpsLabel(q float64) string {
+	if q <= 0 {
+		return "unpaced"
+	}
+	return fmt.Sprintf("%g", q)
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -118,6 +118,10 @@ type Broker struct {
 
 	queries, queryErrors         atomic.Uint64
 	hedges, hedgeWins, failovers atomic.Uint64
+
+	// metrics is the /metrics exposition surface, built at the end of New
+	// over the counters above (see metrics.go).
+	metrics *brokerMetrics
 }
 
 // New returns a broker over cfg. The worker fleet is not contacted —
@@ -160,6 +164,7 @@ func New(cfg Config) (*Broker, error) {
 		}
 		b.groups[gi] = g
 	}
+	b.initMetrics()
 	return b, nil
 }
 

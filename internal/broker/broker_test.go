@@ -260,10 +260,19 @@ func TestBrokerHedgedRequests(t *testing.T) {
 		t.Fatalf("hedges=%d hedgeWins=%d, want both > 0", b.hedges.Load(), b.hedgeWins.Load())
 	}
 
-	// The policy is visible in /stats.
+	// The policy is visible in /stats and /metrics alike.
 	status, st := getJSON[StatsResponse](t, bts.URL+"/stats")
 	if status != http.StatusOK || st.Hedges == 0 || st.HedgeWins == 0 {
 		t.Fatalf("/stats = %d %+v, want hedge counters > 0", status, st)
+	}
+	m := scrapeMetrics(t, bts.URL)
+	if m["ds_hedges_total"] == 0 || m["ds_hedge_wins_total"] == 0 {
+		t.Fatalf("/metrics hedges=%v hedge_wins=%v, want both > 0",
+			m["ds_hedges_total"], m["ds_hedge_wins_total"])
+	}
+	if m[`ds_requests_total{endpoint="search",outcome="ok"}`] < rounds {
+		t.Fatalf("/metrics request counter = %v, want >= %d",
+			m[`ds_requests_total{endpoint="search",outcome="ok"}`], rounds)
 	}
 }
 

@@ -20,15 +20,16 @@ import (
 )
 
 // Handler returns the broker's route table: the same public surface a
-// single dsearchd exposes (/search, /suggest, /stats, /healthz), so
-// clients cannot tell a broker from a node — minus /reload, which is a
-// per-worker operation.
+// single dsearchd exposes (/search, /suggest, /stats, /healthz,
+// /metrics), so clients cannot tell a broker from a node — minus
+// /reload, which is a per-worker operation.
 func (b *Broker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", b.handleSearch)
 	mux.HandleFunc("GET /suggest", b.handleSuggest)
 	mux.HandleFunc("GET /stats", b.handleStats)
 	mux.HandleFunc("GET /healthz", b.handleHealthz)
+	mux.Handle("GET /metrics", b.metrics.reg.Handler())
 	return mux
 }
 
@@ -73,16 +74,19 @@ func (b *Broker) handleSearch(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	q, err := server.ParseSearchQuery(params, b.maxLim)
 	if err != nil {
+		b.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	req, _, err := q.Normalize()
 	if err != nil {
+		b.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	timeout, err := server.ParseTimeout(params, b.timeout)
 	if err != nil {
+		b.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -93,9 +97,11 @@ func (b *Broker) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp, err := b.query(ctx, req)
 	if err != nil {
 		b.queryErrors.Add(1)
+		b.metrics.observeRequest("search", "error", start)
 		writeQueryError(w, err, timeout)
 		return
 	}
+	b.metrics.observeRequest("search", "ok", start)
 	resp.Query = req.Expr.String()
 	resp.TookMS = float64(time.Since(start).Microseconds()) / 1e3
 	writeJSON(w, http.StatusOK, resp)
@@ -304,6 +310,7 @@ func (b *Broker) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	prefix := params.Get("q")
 	if prefix == "" {
+		b.metrics.observeRequest("suggest", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
@@ -311,6 +318,7 @@ func (b *Broker) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if v := params.Get("n"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed <= 0 {
+			b.metrics.observeRequest("suggest", "bad_request", start)
 			writeError(w, http.StatusBadRequest, "invalid n %q", v)
 			return
 		}
@@ -347,9 +355,11 @@ func (b *Broker) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	if err := firstError(errs); err != nil {
 		b.queryErrors.Add(1)
+		b.metrics.observeRequest("suggest", "error", start)
 		writeQueryError(w, err, b.timeout)
 		return
 	}
+	b.metrics.observeRequest("suggest", "ok", start)
 
 	counts := make(map[string]int)
 	var gen uint64

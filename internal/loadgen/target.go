@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"desksearch"
+)
+
+// CatalogTarget executes ops directly against an in-process catalog —
+// the zero-network mode that measures the evaluation stack itself.
+type CatalogTarget struct {
+	Cat *desksearch.Catalog
+}
+
+// Do implements Target.
+func (t *CatalogTarget) Do(ctx context.Context, op Op) error {
+	if op.Class == ClassSuggest {
+		_, err := t.Cat.Suggest(ctx, op.Query, op.Limit)
+		return err
+	}
+	q := desksearch.Query{Text: op.Query, Limit: op.Limit}
+	if op.Rank != "" {
+		rank, err := desksearch.ParseRanking(op.Rank)
+		if err != nil {
+			return err
+		}
+		q.Ranking = rank
+	}
+	_, err := t.Cat.Query(ctx, q)
+	return err
+}
+
+// HTTPTarget executes ops against a running dsearchd (or broker) over
+// HTTP — the mode that measures the full serving stack, caches and
+// scatter-gather included.
+type HTTPTarget struct {
+	// BaseURL is the daemon's root, e.g. http://localhost:7700.
+	BaseURL string
+	// Client, when nil, falls back to a connection-reusing default.
+	Client *http.Client
+}
+
+// Do implements Target. Any non-200 status is an error carrying the
+// status code, so deterministic rejections surface in the summary's
+// error counts rather than silently inflating the latency histograms.
+func (t *HTTPTarget) Do(ctx context.Context, op Op) error {
+	var u string
+	base := strings.TrimRight(t.BaseURL, "/")
+	if op.Class == ClassSuggest {
+		u = base + "/suggest?q=" + url.QueryEscape(op.Query) + "&n=" + strconv.Itoa(op.Limit)
+	} else {
+		u = base + "/search?q=" + url.QueryEscape(op.Query) + "&limit=" + strconv.Itoa(op.Limit)
+		if op.Rank != "" {
+			u += "&rank=" + url.QueryEscape(op.Rank)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the connection is reusable; the workload measures the
+	// server, not client-side JSON decoding.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s %s: status %d", op.Class, op.Query, resp.StatusCode)
+	}
+	return nil
+}

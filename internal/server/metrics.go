@@ -1,0 +1,93 @@
+package server
+
+import (
+	"time"
+
+	"desksearch/internal/metrics"
+)
+
+// serverMetrics is the daemon's /metrics surface. Counters the server
+// already maintains as atomics (queries, errors, reloads) and state
+// other subsystems own (cache statistics, block-cache bytes, the
+// catalog generation) are exposed as function-backed metrics sampled at
+// scrape time, so there is exactly one source of truth per number; only
+// the per-endpoint request/latency instruments are new write paths.
+type serverMetrics struct {
+	reg      *metrics.Registry
+	requests *metrics.CounterVec // by endpoint and outcome
+	latency  map[string]*metrics.Histogram
+}
+
+// initMetrics builds the registry over the server's existing state.
+func (s *Server) initMetrics() {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:      reg,
+		requests: reg.NewCounterVec("ds_requests_total", "HTTP requests by endpoint and outcome.", "endpoint", "outcome"),
+		latency:  make(map[string]*metrics.Histogram),
+	}
+	for _, ep := range []string{"search", "suggest"} {
+		m.latency[ep] = reg.NewHistogram(
+			"ds_"+ep+"_duration_seconds",
+			"Server-side handling time of /"+ep+" requests.",
+			nil,
+		)
+	}
+
+	reg.NewCounterFunc("ds_queries_total", "Queries accepted across /search and /suggest.",
+		func() float64 { return float64(s.queries.Load()) })
+	reg.NewCounterFunc("ds_query_errors_total", "Queries that failed evaluation.",
+		func() float64 { return float64(s.queryErrors.Load()) })
+	reg.NewCounterFunc("ds_reloads_total", "Completed reloads (incremental and full).",
+		func() float64 { return float64(s.reloads.Load()) })
+	reg.NewGaugeFunc("ds_generation", "Current catalog generation.",
+		func() float64 { return float64(s.cat.Generation()) })
+	reg.NewGaugeFunc("ds_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	if s.cache != nil {
+		reg.NewCounterFunc("ds_cache_hits_total", "Query-result cache hits.",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		reg.NewCounterFunc("ds_cache_misses_total", "Query-result cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		reg.NewCounterFunc("ds_cache_coalesced_total", "Requests merged into an in-flight identical query (single-flight).",
+			func() float64 { return float64(s.cache.Stats().Coalesced) })
+		reg.NewCounterFunc("ds_cache_evictions_total", "Query-result cache evictions.",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		reg.NewGaugeFunc("ds_cache_entries", "Query-result cache resident entries.",
+			func() float64 { return float64(s.cache.Stats().Entries) })
+		reg.NewGaugeFunc("ds_cache_bytes", "Query-result cache resident bytes.",
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+	}
+
+	// The block cache exists only for lazy catalogs; a heap catalog
+	// samples as zero rather than dropping the family, so dashboards keep
+	// a stable series set across open modes.
+	reg.NewGaugeFunc("ds_block_cache_used_bytes", "Lazy posting-block cache resident bytes (0 for heap catalogs).",
+		func() float64 {
+			_, used, ok := s.cat.BlockCache()
+			if !ok {
+				return 0
+			}
+			return float64(used)
+		})
+	reg.NewGaugeFunc("ds_block_cache_budget_bytes", "Lazy posting-block cache byte budget (0 for heap catalogs).",
+		func() float64 {
+			budget, _, ok := s.cat.BlockCache()
+			if !ok {
+				return 0
+			}
+			return float64(budget)
+		})
+
+	s.metrics = m
+}
+
+// observeRequest records one finished request: the outcome-labeled
+// counter and, for instrumented endpoints, the latency histogram.
+func (m *serverMetrics) observeRequest(endpoint, outcome string, start time.Time) {
+	m.requests.With(endpoint, outcome).Inc()
+	if h, ok := m.latency[endpoint]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+}

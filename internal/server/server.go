@@ -21,6 +21,9 @@
 //	                     the count, default 10)
 //	GET  /stats          catalog, server, and cache counters
 //	GET  /healthz        liveness probe
+//	GET  /metrics        the same counters plus per-endpoint latency
+//	                     histograms in Prometheus text format (see
+//	                     metrics.go and internal/metrics)
 //	POST /reload         run an incremental update (or a full rebuild
 //	                     with ?mode=full) and invalidate the cache
 //
@@ -117,6 +120,10 @@ type Server struct {
 	statsSnap desksearch.Stats
 
 	queries, queryErrors, reloads atomic.Uint64
+
+	// metrics is the /metrics exposition surface, built once in New over
+	// the counters and caches above (see metrics.go).
+	metrics *serverMetrics
 }
 
 // New returns a server over cfg. It panics when cfg.Catalog is nil — the
@@ -148,7 +155,7 @@ func New(cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cat:         cfg.Catalog,
 		update:      cfg.Update,
 		rebuild:     cfg.Rebuild,
@@ -160,6 +167,8 @@ func New(cfg Config) *Server {
 		worker:      cfg.Worker,
 		partTimings: make(map[int]*timing.Window),
 	}
+	s.initMetrics()
+	return s
 }
 
 // Handler returns the daemon's route table.
@@ -169,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /suggest", s.handleSuggest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("POST /reload", s.handleReload)
 	if s.worker {
 		mux.HandleFunc("GET /internal/meta", s.handleWorkerMeta)
@@ -431,17 +441,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, status, err := s.parseSearch(r)
 	if err != nil {
+		s.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, status, "%v", err)
 		return
 	}
 	req, key, err := req.Normalize()
 	if err != nil {
+		s.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	timeout, err := ParseTimeout(r.URL.Query(), s.timeout)
 	if err != nil {
+		s.metrics.observeRequest("search", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -456,12 +469,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp, cached, err := s.cachedQuery(ctx, gen, key, req)
 	if err != nil {
 		s.queryErrors.Add(1)
+		s.metrics.observeRequest("search", "error", start)
 		writeQueryError(w, err, timeout)
 		return
 	}
 	if !cached {
 		s.observePartitions(resp.Partitions)
 	}
+	s.metrics.observeRequest("search", "ok", start)
 
 	out := SearchResponse{
 		Query:      req.Expr.String(),
@@ -516,6 +531,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	prefix := params.Get("q")
 	if prefix == "" {
+		s.metrics.observeRequest("suggest", "bad_request", start)
 		writeError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
@@ -523,6 +539,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if v := params.Get("n"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed <= 0 {
+			s.metrics.observeRequest("suggest", "bad_request", start)
 			writeError(w, http.StatusBadRequest, "invalid n %q", v)
 			return
 		}
@@ -538,9 +555,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	sugs, err := s.cat.Suggest(ctx, prefix, n)
 	if err != nil {
 		s.queryErrors.Add(1)
+		s.metrics.observeRequest("suggest", "error", start)
 		writeQueryError(w, err, s.timeout)
 		return
 	}
+	s.metrics.observeRequest("suggest", "ok", start)
 	out := SuggestResponse{
 		Prefix:      strings.TrimRight(prefix, "*"),
 		Generation:  gen,

@@ -7,7 +7,7 @@
 package timing
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -25,6 +25,11 @@ type Window struct {
 	next  int
 	full  bool
 	count uint64
+	// scratch is Snapshot's reusable sort buffer, allocated once at the
+	// window's capacity. Snapshot sorts under mu (a window is at most a
+	// few hundred entries, so the sort is cheap next to the allocation it
+	// replaces), which also keeps the buffer exclusive.
+	scratch []time.Duration
 }
 
 // NewWindow returns a window retaining the last size observations
@@ -33,7 +38,10 @@ func NewWindow(size int) *Window {
 	if size <= 0 {
 		size = DefaultWindowSize
 	}
-	return &Window{buf: make([]time.Duration, size)}
+	return &Window{
+		buf:     make([]time.Duration, size),
+		scratch: make([]time.Duration, 0, size),
+	}
 }
 
 // Observe records one duration, displacing the oldest observation once
@@ -78,16 +86,14 @@ func (w *Window) Snapshot() (s Summary, ok bool) {
 		w.mu.Unlock()
 		return Summary{}, false
 	}
-	obs := make([]time.Duration, n)
-	copy(obs, w.buf[:n])
+	obs := append(w.scratch[:0], w.buf[:n]...)
 	s.Count = w.count
-	w.mu.Unlock()
-
-	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+	slices.Sort(obs)
 	s.Min = obs[0]
 	s.Max = obs[n-1]
 	s.Median = obs[(n-1)/2]
 	s.P95 = obs[(n-1)*95/100]
+	w.mu.Unlock()
 	return s, true
 }
 

@@ -59,6 +59,39 @@ func TestRingDisplacement(t *testing.T) {
 	}
 }
 
+// TestSnapshotDoesNotAllocate pins the scratch-buffer contract: a steady
+// state of Observe+Snapshot runs allocation-free, because Snapshot sorts
+// into the buffer allocated once by NewWindow.
+func TestSnapshotDoesNotAllocate(t *testing.T) {
+	w := NewWindow(DefaultWindowSize)
+	for i := 0; i < DefaultWindowSize*2; i++ {
+		w.Observe(time.Duration(i) * time.Microsecond)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Observe(time.Millisecond)
+		if _, ok := w.Snapshot(); !ok {
+			t.Fatal("no snapshot")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe+Snapshot allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	w := NewWindow(DefaultWindowSize)
+	for i := 0; i < DefaultWindowSize; i++ {
+		w.Observe(time.Duration(i%37) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Snapshot(); !ok {
+			b.Fatal("no snapshot")
+		}
+	}
+}
+
 func TestConcurrentObserve(t *testing.T) {
 	w := NewWindow(0) // default size
 	var wg sync.WaitGroup
